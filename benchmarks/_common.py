@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark tree.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures through :mod:`repro.bench.experiments` and
+
+* times the regeneration with pytest-benchmark (single round — these
+  are end-to-end experiment harnesses, not microkernels), and
+* writes the rendered rows to ``benchmarks/results/<exp>.txt`` so the
+  paper-vs-measured record in EXPERIMENTS.md can be refreshed from
+  artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.experiments import ExperimentResult, run_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_and_record(benchmark, exp_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment under pytest-benchmark and persist its output."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(exp_id, **kwargs), rounds=1, iterations=1
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(result.render())
+    return result
+
+
+def rows_of(result: ExperimentResult, table_index: int = 0):
+    return result.tables[table_index][1]
+
+
+def parse_speedup(cell: str) -> float:
+    """'2.35x' -> 2.35; '-' -> nan."""
+    if cell == "-":
+        return float("nan")
+    return float(cell.rstrip("x"))

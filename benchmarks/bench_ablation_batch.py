@@ -1,0 +1,27 @@
+"""Ablation (DESIGN.md #5): the BSP batch size b.
+
+Eq. 1: smaller b means more supersteps (more tau-costs and skew
+waits); huge b means more memory.  DAKC has no such knob — that is
+the point of Algorithm 3.
+"""
+
+from repro.bench.harness import run_point
+from repro.bench.workloads import build_workload
+
+
+def test_ablation_batch_size(benchmark):
+    w = build_workload("synthetic-26", 31, budget_kmers=250_000)
+
+    def run():
+        times = {}
+        for divisor in (1, 4, 16, 64):
+            local = w.n_kmers(31) // 8
+            b = max(1, local // divisor)
+            pt = run_point("pakman*", w, 31, nodes=8, batch_size=b)
+            times[divisor] = (pt.sim_time, pt.global_syncs)
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    # More supersteps -> more syncs; time should not improve.
+    assert times[64][1] > times[1][1]
+    assert times[64][0] >= times[1][0] * 0.95

@@ -1,0 +1,29 @@
+"""Ablation (DESIGN.md #3): the HEAVY threshold of Algorithm 4.
+
+The paper fixes `count > 2`; this sweep shows the trade-off: a
+threshold of 1 sends everything as pairs (doubling light k-mer bytes),
+a huge threshold disables the heavy path entirely.
+"""
+
+from repro.bench.harness import run_point
+from repro.bench.workloads import build_workload
+from repro.core.l2l3 import AggregationConfig
+
+
+def test_ablation_heavy_threshold(benchmark):
+    w = build_workload("human", 31, budget_kmers=250_000)
+
+    def run():
+        times = {}
+        for thr in (1, 2, 8, 1_000_000):
+            pt = run_point(
+                "dakc", w, 31, nodes=8, pe_granularity="core",
+                agg=AggregationConfig(heavy_threshold=thr),
+                enforce_oom_gate=False,
+            )
+            times[thr] = pt.sim_time
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The paper's threshold must beat "no heavy path at all" on Human.
+    assert times[2] < times[1_000_000]

@@ -1,0 +1,24 @@
+"""Ablation (DESIGN.md #1): sort choice inside the BSP baseline."""
+
+from repro.bench.harness import run_point
+from repro.bench.workloads import build_workload
+from repro.core.bsp import BspConfig, bsp_count
+from repro.runtime.cost import CostModel
+from repro.runtime.machine import phoenix_intel
+
+
+def test_ablation_sort_choice(benchmark):
+    w = build_workload("synthetic-27", 31, budget_kmers=300_000)
+
+    def run():
+        out = {}
+        for sort in ("radix", "quicksort"):
+            m = phoenix_intel(4)
+            _, stats = bsp_count(
+                w.reads, 31, CostModel(m, cores_per_pe=24), BspConfig(sort=sort)
+            )
+            out[sort] = stats.sim_time
+        return out
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert times["radix"] < times["quicksort"]

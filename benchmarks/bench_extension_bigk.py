@@ -1,0 +1,32 @@
+"""Extension bench: 128-bit k-mer counting (k <= 64, Sec. VII)."""
+
+import numpy as np
+
+from repro.core.bigcount import dakc_count_big, serial_count_big
+from repro.runtime.cost import CostModel
+from repro.runtime.machine import phoenix_intel
+from repro.seq.genomes import uniform_genome
+from repro.seq.readsim import ReadSimConfig, simulate_reads
+
+
+def _reads():
+    g = uniform_genome(20_000, seed=0)
+    return simulate_reads(g, ReadSimConfig(read_len=300, coverage=10, seed=0))
+
+
+def test_extension_bigk_serial(benchmark):
+    reads = _reads()
+    kc = benchmark(lambda: serial_count_big(reads, 51))
+    assert kc.total == reads.shape[0] * (300 - 51 + 1)
+
+
+def test_extension_bigk_distributed(benchmark):
+    reads = _reads()
+    m = phoenix_intel(4)
+
+    def run():
+        return dakc_count_big(reads, 51, CostModel(m, cores_per_pe=24))
+
+    kc, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.global_syncs == 3
+    assert kc == serial_count_big(reads, 51)

@@ -1,0 +1,32 @@
+"""Extension bench: the Section VII GPU projection, quantified."""
+
+from repro.bench.tables import print_table
+from repro.model.gpu import A100, H100, project_speedup
+from repro.seq.datasets import get_spec
+
+
+def test_extension_gpu_projection(benchmark):
+    spec = get_spec("synthetic-30")
+
+    def run():
+        return {
+            acc.name: project_speedup(spec.n_reads, spec.read_len, 31, acc, nodes=32)
+            for acc in (A100, H100)
+        }
+
+    projections = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "accelerator": name,
+            "intranode speedup bound": f"{p.intranode_speedup:.1f}x",
+            "end-to-end speedup": f"{p.total_speedup:.2f}x",
+            "compute utilisation": f"{100 * p.compute_utilisation:.1f}%",
+        }
+        for name, p in projections.items()
+    ]
+    print_table(rows, title="Sec. VII GPU projection (Synthetic 30 @ 32 nodes)")
+    h100 = projections["H100"]
+    # The paper's conclusion: bandwidth-bound, compute units idle.
+    assert h100.bandwidth_bound
+    assert h100.compute_utilisation < 0.05
+    assert 1.0 < h100.total_speedup < 25.0

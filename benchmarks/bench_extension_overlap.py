@@ -1,0 +1,34 @@
+"""Extension bench: the barrier-free sorted-set variant (Sec. VII).
+
+Compares stock DAKC (3 global syncs) against dakc_overlap_count
+(2 syncs, Phase-2 folded into delivery service) across node counts.
+"""
+
+from repro.bench.workloads import build_workload
+from repro.core.dakc import dakc_count
+from repro.core.serial import serial_count
+from repro.core.sortedset import dakc_overlap_count
+from repro.runtime.cost import CostModel
+from repro.runtime.machine import phoenix_intel
+
+
+def test_extension_sorted_set_overlap(benchmark):
+    w = build_workload("synthetic-26", 31, budget_kmers=250_000)
+    ref = serial_count(w.reads, 31)
+
+    def run():
+        out = {}
+        for nodes in (4, 16):
+            m = phoenix_intel(nodes)
+            base, sb = dakc_count(w.reads, 31, CostModel(m, cores_per_pe=24))
+            over, so = dakc_overlap_count(w.reads, 31, CostModel(m, cores_per_pe=24))
+            assert base == ref and over == ref
+            out[nodes] = (sb.sim_time, so.sim_time, sb.global_syncs, so.global_syncs)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    for nodes, (t3, t2, s3, s2) in out.items():
+        assert (s3, s2) == (3, 2)
+        # The overlap variant must stay within 2x of stock DAKC (it
+        # trades barrier removal for costlier insertion).
+        assert t2 < 2.0 * t3

@@ -1,0 +1,12 @@
+"""Fig. 1: headline speedups of DAKC over KMC3 / PakMan* / HySortK."""
+
+from _common import parse_speedup, rows_of, run_and_record
+
+
+def test_fig01_headline(benchmark):
+    result = run_and_record(benchmark, "fig1")
+    for row in rows_of(result):
+        # Paper: 15-102x over shared memory; >1x over both BSP baselines.
+        assert parse_speedup(row["vs KMC3"]) > 10
+        assert parse_speedup(row["vs PakMan*"]) > 1.0
+        assert parse_speedup(row["vs HySortK"]) > 1.0

@@ -1,0 +1,18 @@
+"""Fig. 2: per-core memory overhead of 1D/2D/3D Conveyors."""
+
+from _common import rows_of, run_and_record
+from repro.runtime.memory import aggregation_memory_per_pe
+
+
+def test_fig02_memory_overhead(benchmark):
+    result = run_and_record(benchmark, "fig2")
+    # Closed-form check at the strong-scaling extremes of Fig. 2:
+    # 1D is modest at 48 cores but hundreds of MB/core at 6144 cores,
+    # while 3D stays within a few MB.
+    lo = aggregation_memory_per_pe("1D", 48)["total"]
+    hi = aggregation_memory_per_pe("1D", 6144)["total"]
+    hi_3d = aggregation_memory_per_pe("3D", 6144)["total"]
+    assert lo < 4 * 1024**2
+    assert hi > 200 * 1024**2
+    assert hi_3d < 8 * 1024**2
+    assert len(rows_of(result)) == 8

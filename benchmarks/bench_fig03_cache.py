@@ -1,0 +1,16 @@
+"""Fig. 3: LLC misses — analytical model vs simulated measurement."""
+
+from _common import rows_of, run_and_record
+
+
+def test_fig03_cache_validation(benchmark):
+    result = run_and_record(benchmark, "fig3")
+    for row in rows_of(result):
+        p1_pred = float(row["P1 predicted"])
+        p1_meas = float(row["P1 measured"])
+        p2_pred = float(row["P2 predicted"])
+        p2_meas = float(row["P2 measured"])
+        # Paper: P1 prediction slightly below measurement; P2 worst-case
+        # prediction above measurement.
+        assert 0.7 <= p1_meas / p1_pred <= 1.5
+        assert p2_meas <= p2_pred * 1.05

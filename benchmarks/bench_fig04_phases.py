@@ -1,0 +1,22 @@
+"""Fig. 4: phase execution times — model vs simulated measurement."""
+
+from _common import rows_of, run_and_record
+from repro.bench.tables import format_time
+
+
+def _seconds(cell: str) -> float:
+    value, unit = cell.split()
+    scale = {"s": 1.0, "ms": 1e-3, "us": 1e-6, "ns": 1e-9}[unit]
+    return float(value) * scale
+
+
+def test_fig04_phase_times(benchmark):
+    result = run_and_record(benchmark, "fig4")
+    for row in rows_of(result):
+        t1_model = _seconds(row["T1 sum-model"])
+        t1_meas = _seconds(row["T1 measured"])
+        t2_model = _seconds(row["T2 model"])
+        t2_meas = _seconds(row["T2 measured"])
+        # Paper: the model underestimates but stays in the same ballpark.
+        assert 0.33 <= t1_meas / t1_model <= 3.0
+        assert 0.2 <= t2_meas / t2_model <= 3.0

@@ -1,0 +1,15 @@
+"""Fig. 5 + Sec. VII: time breakdown and operational intensity."""
+
+from _common import rows_of, run_and_record
+
+
+def test_fig05_breakdown(benchmark):
+    result = run_and_record(benchmark, "fig5")
+    shares = {r["component"]: float(r["share"].split()[0]) for r in rows_of(result)}
+    # Paper: compute share is very small; movement dominates.
+    assert shares["compute"] < 10
+    assert shares["intranode"] + shares["internode"] > 90
+    roof = {r["quantity"]: r["value"] for r in result.tables[1][1]}
+    assert "0.123" in roof["DAKC op-to-byte"]          # ~0.12 iadd64/B
+    assert "2.60" in roof["Phoenix CPU balance"]       # ~2.6 iadd64/B
+    assert "8.3" in roof["NVIDIA H100 balance"]

@@ -1,0 +1,14 @@
+"""Fig. 6: the quicksort -> radix swap in PakMan (PakMan*)."""
+
+from _common import parse_speedup, rows_of, run_and_record
+
+
+def test_fig06_pakman_star(benchmark):
+    result = run_and_record(benchmark, "fig6")
+    speedups = [
+        parse_speedup(r["speedup"]) for r in rows_of(result) if r["speedup"] != "-"
+    ]
+    assert speedups, "every dataset OOM'd?"
+    # Paper: ~2x; the replica retains >1.15x (log-depth artefact, see
+    # the experiment notes and EXPERIMENTS.md).
+    assert all(s > 1.15 for s in speedups)

@@ -1,0 +1,34 @@
+"""Fig. 7 (+ Sec. VI-E): strong scaling on real and synthetic data."""
+
+from _common import run_and_record
+
+
+def _seconds(cell: str) -> float:
+    if cell == "OOM":
+        return float("nan")
+    value, unit = cell.split()
+    return float(value) * {"s": 1, "ms": 1e-3, "us": 1e-6, "ns": 1e-9}[unit]
+
+
+def test_fig07_strong_scaling(benchmark):
+    result = run_and_record(benchmark, "fig7", budget=250_000,
+                            node_counts=[1, 4, 16, 32])
+    # Sec. VI-E: non-blocking collectives alone give HySortK only a
+    # modest edge over PakMan* (paper: 1.17x on average).
+    if "faster than PakMan*" in result.notes:
+        ratio = float(result.notes.split("HySortK is ")[1].split("x")[0])
+        assert 1.0 <= ratio <= 2.5
+    for title, rows in result.tables:
+        by_nodes = {r["nodes"]: r for r in rows}
+        # DAKC strong-scales: more nodes, less time (within the sweep).
+        d1, d32 = _seconds(by_nodes[1]["DAKC"]), _seconds(by_nodes[32]["DAKC"])
+        if d1 == d1 and d32 == d32:  # both ran
+            assert d32 < d1, title
+        # DAKC is the fastest method at the scaling limit.
+        d = _seconds(by_nodes[32]["DAKC"])
+        p = _seconds(by_nodes[32]["PakMan*"])
+        h = _seconds(by_nodes[32]["HySortK"])
+        if d == d and p == p:
+            assert d < p, title
+        if d == d and h == h:
+            assert d < h, title

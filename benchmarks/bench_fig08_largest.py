@@ -1,0 +1,15 @@
+"""Fig. 8: strong scaling on Synthetic 32 (451 GB) with OOM gating."""
+
+from _common import rows_of, run_and_record
+
+
+def test_fig08_largest_dataset(benchmark):
+    result = run_and_record(benchmark, "fig8", budget=200_000)
+    rows = {r["nodes"]: r for r in rows_of(result)}
+    # Paper: PakMan* OOM at 16 & 32 nodes; HySortK never runs; DAKC always.
+    assert rows[16]["PakMan*"] == "OOM"
+    assert rows[32]["PakMan*"] == "OOM"
+    assert rows[64]["PakMan*"] != "OOM"
+    for nodes in rows:
+        assert rows[nodes]["HySortK"] == "OOM"
+        assert rows[nodes]["DAKC"] != "OOM"

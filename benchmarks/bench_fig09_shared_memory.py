@@ -1,0 +1,14 @@
+"""Fig. 9: single-node (shared memory) comparison on Intel and AMD."""
+
+from _common import parse_speedup, run_and_record
+
+
+def test_fig09_shared_memory(benchmark):
+    result = run_and_record(benchmark, "fig9")
+    for title, rows in result.tables:
+        for row in rows:
+            # Paper: DAKC ~2x over KMC3 on one node; never slower than
+            # the distributed baselines by more than a whisker.
+            assert parse_speedup(row["vs KMC3"]) > 1.5, (title, row)
+            assert parse_speedup(row["vs PakMan*"]) > 0.85, (title, row)
+            assert parse_speedup(row["vs HySortK"]) > 0.85, (title, row)

@@ -1,0 +1,15 @@
+"""Fig. 10: weak scaling on synthetic datasets."""
+
+from _common import parse_speedup, rows_of, run_and_record
+
+
+def test_fig10_weak_scaling(benchmark):
+    result = run_and_record(benchmark, "fig10", base_budget=80_000)
+    rows = rows_of(result)
+    # Paper bands: DAKC 1.7-3.4x over HySortK, 2.0-6.3x over PakMan*.
+    # Replica must show DAKC ahead everywhere, growing gaps at scale.
+    for row in rows:
+        if row["DAKC vs HySortK"] != "-":
+            assert parse_speedup(row["DAKC vs HySortK"]) > 1.1
+        if row["DAKC vs PakMan*"] != "-":
+            assert parse_speedup(row["DAKC vs PakMan*"]) > 1.2

@@ -1,0 +1,11 @@
+"""Fig. 11: 1D vs 2D vs 3D Conveyors topologies."""
+
+from _common import parse_speedup, rows_of, run_and_record
+
+
+def test_fig11_topology_choice(benchmark):
+    result = run_and_record(benchmark, "fig11", budget=200_000)
+    for row in rows_of(result):
+        # Paper: 1D is 10-20% faster, so 2D/1D and 3D/1D speedups < 1.
+        assert parse_speedup(row["2D/1D speedup"]) <= 1.02
+        assert parse_speedup(row["3D/1D speedup"]) <= 1.02

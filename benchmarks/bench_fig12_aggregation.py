@@ -1,0 +1,20 @@
+"""Fig. 12: the L2/L3 aggregation-layer ablation."""
+
+from _common import parse_speedup, run_and_record
+
+
+def test_fig12_aggregation_layers(benchmark):
+    result = run_and_record(benchmark, "fig12", budget=250_000)
+    human_rows = result.tables[0][1]
+    synth_rows = result.tables[1][1]
+    # Human (heavy hitters): L3 must be the best configuration and its
+    # advantage must grow with the core count (paper: up to 66x).
+    l3_speedups = [parse_speedup(r["L0-L3 speedup"]) for r in human_rows]
+    assert all(s > 1.3 for s in l3_speedups)
+    assert l3_speedups[-1] >= l3_speedups[0] * 0.9
+    for r in human_rows:
+        assert parse_speedup(r["L0-L3 speedup"]) > parse_speedup(r["L0-L2 speedup"]) * 0.95
+    # Synthetic (uniform): L2 carries the benefit; L3 adds nothing.
+    for r in synth_rows:
+        assert parse_speedup(r["L0-L2 speedup"]) > 1.2
+        assert parse_speedup(r["L0-L3 speedup"]) <= parse_speedup(r["L0-L2 speedup"]) * 1.1

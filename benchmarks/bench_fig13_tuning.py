@@ -1,0 +1,20 @@
+"""Fig. 13: tuning the C2 and C3 aggregation parameters."""
+
+from _common import parse_speedup, run_and_record
+
+
+def test_fig13_tuning(benchmark):
+    result = run_and_record(benchmark, "fig13")
+    c2_rows = {r["C2"]: r for r in result.tables[0][1]}
+    c3_rows = {r["C3"]: r for r in result.tables[1][1]}
+    # Paper: flat for C2 >= 8; degraded for C2 <= 4.
+    assert parse_speedup(c2_rows[8]["speedup vs C2=32"]) > 0.88
+    for c2 in (16, 64, 128):
+        assert parse_speedup(c2_rows[c2]["speedup vs C2=32"]) > 0.95
+    assert parse_speedup(c2_rows[2]["speedup vs C2=32"]) < parse_speedup(
+        c2_rows[32]["speedup vs C2=32"]
+    )
+    # Paper: similar for 1e3 <= C3 <= 1e6; degraded at C3 = 1e2.
+    for c3 in (1_000, 10_000):
+        assert parse_speedup(c3_rows[c3]["speedup vs C3=1e4"]) > 0.9
+    assert parse_speedup(c3_rows[100]["speedup vs C3=1e4"]) < 1.0

@@ -1,0 +1,66 @@
+"""Microbenchmarks of the hot kernels (host-time, pytest-benchmark).
+
+These measure the *real* Python/NumPy implementations — the quantities
+a user of this library actually pays — as opposed to the simulated
+machine times of the figure benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.owner import owner_pe
+from repro.seq.datasets import materialize
+from repro.seq.kmers import extract_kmers_from_reads, reverse_complement_kmers
+from repro.sort.accumulate import accumulate_sorted
+from repro.sort.radix import radix_sort
+
+
+@pytest.fixture(scope="module")
+def reads():
+    return materialize("synthetic-22", fidelity=2**-6, seed=0).reads
+
+
+@pytest.fixture(scope="module")
+def kmers(reads):
+    return extract_kmers_from_reads(reads, 31)
+
+
+def test_kernel_extract_kmers(benchmark, reads):
+    benchmark(lambda: extract_kmers_from_reads(reads, 31))
+
+
+def test_kernel_owner_hash(benchmark, kmers):
+    benchmark(lambda: owner_pe(kmers, 768))
+
+
+def test_kernel_radix_sort(benchmark, kmers):
+    data = kmers[:200_000]
+    benchmark(lambda: radix_sort(data, key_bits=62))
+
+
+def test_kernel_numpy_sort_reference(benchmark, kmers):
+    data = kmers[:200_000]
+    benchmark(lambda: np.sort(data))
+
+
+def test_kernel_accumulate(benchmark, kmers):
+    data = np.sort(kmers)
+    benchmark(lambda: accumulate_sorted(data))
+
+
+def test_kernel_reverse_complement(benchmark, kmers):
+    benchmark(lambda: reverse_complement_kmers(kmers, 31))
+
+
+def test_kernel_dakc_end_to_end(benchmark, reads):
+    """Host time of a full DAKC simulated run (the library's own cost)."""
+    from repro.core.dakc import dakc_count
+    from repro.runtime.cost import CostModel
+    from repro.runtime.machine import phoenix_intel
+
+    m = phoenix_intel(8)
+
+    def run():
+        return dakc_count(reads, 31, CostModel(m, cores_per_pe=24))
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

@@ -1,0 +1,14 @@
+"""Table II: Conveyors protocol properties (topology, memory, hops)."""
+
+from _common import parse_speedup, rows_of, run_and_record
+
+
+def test_table2_protocols(benchmark):
+    result = run_and_record(benchmark, "table2", p=256)
+    rows = {r["Protocol"]: r for r in rows_of(result)}
+    # Paper Table II: hop counts 1/2/3 and memory ordering 1D > 2D > 3D.
+    assert rows["1D"]["#Hops"] == 1
+    assert rows["2D"]["#Hops"] == 2
+    assert rows["3D"]["#Hops"] == 3
+    assert rows["1D"]["Total buffers"] > rows["2D"]["Total buffers"]
+    assert rows["2D"]["Total buffers"] > rows["3D"]["Total buffers"]

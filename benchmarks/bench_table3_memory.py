@@ -1,0 +1,13 @@
+"""Table III: aggregation parameters and per-PE memory."""
+
+from _common import rows_of, run_and_record
+
+
+def test_table3_memory(benchmark):
+    result = run_and_record(benchmark, "table3", p=256)
+    rows = {r["Layer"]: r for r in rows_of(result)}
+    # Paper Table III: L0 = 40K x P (1D), L1 = 264K, L2 = 264 x P, L3 = 80K.
+    assert rows["L0"]["Memory/PE (1D)"] == 40 * 1024 * 256
+    assert rows["L1"]["Memory/PE (1D)"] == 264 * 1024
+    assert rows["L2"]["Memory/PE (1D)"] == 264 * 256
+    assert rows["L3"]["Memory/PE (1D)"] == 80_000

@@ -1,0 +1,33 @@
+"""Table IV: machine model parameters + host microbenchmarks.
+
+The paper obtains C_node and beta_mem from microbenchmarks; we measure
+the host's actual INT64 add throughput and memory bandwidth with NumPy
+as the analogous microbenchmarks, then print the Table IV constants the
+simulation uses.
+"""
+
+import numpy as np
+
+from _common import rows_of, run_and_record
+
+
+def test_table4_parameters(benchmark):
+    result = run_and_record(benchmark, "table4")
+    values = {r["Symbol"]: r["Value"] for r in rows_of(result)}
+    assert values["C_node"] == "121.9 GOp/s"
+    assert values["L"] == "64 B"
+
+
+def test_microbench_int64_add(benchmark):
+    """Host equivalent of the paper's C_node microbenchmark."""
+    a = np.arange(1 << 20, dtype=np.int64)
+    b = np.ones(1 << 20, dtype=np.int64)
+    out = np.empty_like(a)
+    benchmark(lambda: np.add(a, b, out=out))
+
+
+def test_microbench_memory_bandwidth(benchmark):
+    """Host equivalent of the paper's beta_mem microbenchmark."""
+    src = np.zeros(1 << 22, dtype=np.uint8)
+    dst = np.empty_like(src)
+    benchmark(lambda: np.copyto(dst, src))

@@ -1,0 +1,21 @@
+"""Table V: dataset inventory, plus replica materialisation timing."""
+
+from _common import rows_of, run_and_record
+
+
+def test_table5_inventory(benchmark):
+    result = run_and_record(benchmark, "table5")
+    rows = rows_of(result)
+    assert len(rows) == 20
+    names = [r["Data"] for r in rows]
+    assert "Synthetic 32" in names and "SRR28206931" in names
+
+
+def test_materialize_replica(benchmark):
+    """Time to generate a 400k-k-mer replica (workload generator)."""
+    from repro.seq.datasets import materialize
+
+    benchmark.pedantic(
+        lambda: materialize("synthetic-24", fidelity=6e-5, seed=99),
+        rounds=3, iterations=1,
+    )

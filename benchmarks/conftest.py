@@ -1,0 +1,6 @@
+"""Benchmark-tree configuration: make ``_common`` importable."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""De novo assembly preprocessing: k-mer error filtering.
+
+The paper's motivating workload: k-mer counting consumes up to 77% of
+a short-read assembly pipeline (PakMan).  This example runs the whole
+loop the paper's introduction draws — count, filter, assemble — using
+the library's public surface:
+
+1. simulate an error-prone sequencing run of a small genome;
+2. count k-mers with DAKC on a simulated cluster
+   (:func:`repro.count_kmers`);
+3. find the spectrum's error valley and keep only solid k-mers
+   (:mod:`repro.apps.spectrum`);
+4. build the de Bruijn graph and compact unitigs
+   (:mod:`repro.apps.assembly`), with and without the filter.
+
+Run:  python examples/genome_assembly_filter.py
+"""
+
+from __future__ import annotations
+
+from repro import count_kmers
+from repro.apps.assembly import assemble_unitigs, assembly_stats, genome_recovery
+from repro.apps.spectrum import (
+    estimate_error_rate,
+    estimate_genome_size,
+    solid_threshold,
+    spectrum_features,
+)
+from repro.seq import ReadSimConfig, decode_codes, simulate_reads, uniform_genome
+
+K = 25
+GENOME_LEN = 40_000
+
+
+def main() -> None:
+    genome_codes = uniform_genome(GENOME_LEN, seed=7)
+    genome = decode_codes(genome_codes)
+    reads = simulate_reads(
+        genome_codes,
+        ReadSimConfig(read_len=150, coverage=40.0, error_rate=0.005, seed=7),
+    )
+    print(f"genome {GENOME_LEN:,} bp, {reads.shape[0]:,} reads at 40x, "
+          f"0.5% substitution errors")
+
+    run = count_kmers(reads, K, algorithm="dakc", nodes=4)
+    kc = run.counts
+    print(f"DAKC counted {kc.n_distinct:,} distinct {K}-mers "
+          f"(simulated 4-node time: {run.sim_time * 1e3:.2f} ms)\n")
+
+    # Spectrum profiling: the counts alone reveal the genome.
+    feats = spectrum_features(kc)
+    print(f"spectrum: error valley at count={feats.valley}, "
+          f"coverage peak at count={feats.peak}")
+    print(f"estimated genome size: {estimate_genome_size(kc):,} bp "
+          f"(truth {GENOME_LEN:,})")
+    print(f"estimated error rate:  {estimate_error_rate(kc):.3%} (truth 0.500%)\n")
+
+    threshold = solid_threshold(kc)
+    solid = kc.filter_min_count(threshold)
+    print(f"solid threshold {threshold}: kept {solid.n_distinct:,} of "
+          f"{kc.n_distinct:,} distinct k-mers\n")
+
+    for label, counts in (("filtered", solid), ("unfiltered", kc)):
+        unitigs = assemble_unitigs(counts)
+        stats = assembly_stats(unitigs)
+        recovery = genome_recovery(unitigs, genome, k=K)
+        print(f"{label:>11}: {stats.n_unitigs:,} unitigs, "
+              f"N50 {stats.n50:,} bp, longest {stats.longest:,} bp, "
+              f"genome recovery {100 * recovery:.1f}%")
+
+    print("\nerror filtering collapses the spurious branches: fewer, longer,"
+          " more accurate unitigs — the reason assemblers count k-mers first.")
+
+
+if __name__ == "__main__":
+    main()

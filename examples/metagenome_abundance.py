@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Metagenome abundance profiling with distributed k-mer counting.
+
+The paper's second motivating domain (MetaHipMer spends ~50% of its
+runtime on k-mer analysis).  This example:
+
+1. builds a mock community of three "species" genomes mixed at 8:3:1
+   relative abundance;
+2. sequences the pooled community;
+3. counts k-mers of the pooled reads with DAKC on a simulated cluster;
+4. assigns k-mers back to species by reference k-mer sets and
+   recovers the abundance profile from the counts.
+
+Run:  python examples/metagenome_abundance.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import count_kmers
+from repro.bench.tables import print_table
+from repro.seq import ReadSimConfig, simulate_reads, uniform_genome
+from repro.seq.kmers import extract_kmers
+
+K = 21
+
+SPECIES = {
+    "Aquifex mockensis": (60_000, 8.0, 11),
+    "Bacillus exemplaris": (45_000, 3.0, 22),
+    "Candidatus rarum": (30_000, 1.0, 33),
+}
+
+
+def main() -> None:
+    # 1. Community genomes and their reference k-mer sets.
+    genomes = {}
+    ref_kmers = {}
+    for name, (length, _, seed) in SPECIES.items():
+        genome = uniform_genome(length, seed=seed)
+        genomes[name] = genome
+        ref_kmers[name] = set(extract_kmers(genome, K).tolist())
+
+    # 2. Pooled sequencing: coverage proportional to abundance.
+    pools = []
+    for name, (length, abundance, seed) in SPECIES.items():
+        reads = simulate_reads(
+            genomes[name],
+            ReadSimConfig(read_len=150, coverage=5.0 * abundance,
+                          error_rate=0.002, seed=seed),
+        )
+        pools.append(reads)
+    community = np.vstack(pools)
+    rng = np.random.default_rng(0)
+    community = community[rng.permutation(community.shape[0])]
+    print(f"pooled community: {community.shape[0]:,} reads from "
+          f"{len(SPECIES)} species\n")
+
+    # 3. One distributed counting pass over the pooled reads.
+    run = count_kmers(community, K, algorithm="dakc", nodes=8)
+    kc = run.counts.filter_min_count(2)  # drop sequencing errors
+    print(f"DAKC: {kc.n_distinct:,} solid {K}-mers "
+          f"(simulated 8-node time {run.sim_time * 1e3:.2f} ms, "
+          f"{run.stats.global_syncs} syncs)\n")
+
+    # 4. Abundance = mean count of each species' reference k-mers.
+    kmer_to_count = dict(zip(kc.kmers.tolist(), kc.counts.tolist()))
+    rows = []
+    estimates = {}
+    for name, (length, abundance, _) in SPECIES.items():
+        counts = [kmer_to_count.get(kmer, 0) for kmer in ref_kmers[name]]
+        mean_cov = float(np.mean(counts))
+        estimates[name] = mean_cov
+        rows.append({"species": name, "genome": f"{length:,} bp",
+                     "true abundance": abundance, "mean k-mer coverage": f"{mean_cov:.1f}"})
+    base = min(estimates.values())
+    for row, name in zip(rows, SPECIES):
+        row["estimated ratio"] = f"{estimates[name] / base:.2f}"
+    print_table(rows, title="Recovered abundance profile")
+
+    truth = np.array([a for _, a, _ in SPECIES.values()])
+    est = np.array([estimates[n] for n in SPECIES])
+    corr = np.corrcoef(truth, est)[0, 1]
+    print(f"correlation(true, estimated) = {corr:.4f}")
+    assert corr > 0.99, "abundance recovery failed"
+
+
+if __name__ == "__main__":
+    main()

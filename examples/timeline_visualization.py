@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Visualising asynchrony: DAKC vs BSP execution timelines.
+
+Renders ASCII Gantt charts of simulated runs to show *why* DAKC wins:
+the BSP baseline's timeline is punctuated by barrier walls (every PE
+waits for the slowest each superstep), while DAKC streams sends and
+receives between exactly three global synchronisations — and the
+sorted-set variant (the paper's future work) gets down to two.
+
+Run:  python examples/timeline_visualization.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.workloads import build_workload
+from repro.core.bsp import BspConfig, bsp_count
+from repro.core.dakc import dakc_count
+from repro.core.sortedset import dakc_overlap_count
+from repro.runtime.cost import CostModel
+from repro.runtime.machine import phoenix_intel
+from repro.runtime.trace import Tracer, render_gantt
+
+K = 31
+NODES = 4
+WIDTH = 100
+
+
+def traced_run(label: str, fn) -> None:
+    tracer = Tracer()
+    machine = phoenix_intel(NODES)
+    cost = CostModel(machine, cores_per_pe=machine.cores_per_node, tracer=tracer)
+    _, stats = fn(cost)
+    busy = sum(tracer.busy_fraction(pe) for pe in range(NODES)) / NODES
+    print(f"--- {label}: {stats.global_syncs} global syncs, "
+          f"sim time {stats.sim_time * 1e6:.1f} us, "
+          f"mean busy fraction {100 * busy:.0f}% ---")
+    print(render_gantt(tracer, width=WIDTH, n_pes=NODES))
+
+
+def main() -> None:
+    w = build_workload("s-coelicolor", K, budget_kmers=150_000)
+    print(f"workload: {w.spec.organism} replica, {w.n_kmers(K):,} k-mers, "
+          f"{NODES} simulated nodes\n")
+    batch = max(1, w.n_kmers(K) // (NODES * 5))  # ~5 supersteps
+
+    traced_run(
+        "PakMan* (BSP, blocking collectives, 5 supersteps)",
+        lambda cost: bsp_count(w.reads, K, cost, BspConfig(batch_size=batch)),
+    )
+    traced_run(
+        "DAKC (FA-BSP, 3 syncs)",
+        lambda cost: dakc_count(w.reads, K, cost),
+    )
+    traced_run(
+        "DAKC + distributed sorted set (future work, 2 syncs)",
+        lambda cost: dakc_overlap_count(w.reads, K, cost),
+    )
+    print("reading the charts: '|' barrier walls fragment the BSP timeline; "
+          "DAKC's appear only at entry/phase/exit — and the sorted-set "
+          "variant drops the middle one.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Tuning DAKC's aggregation stack for a workload (Figs. 11-13).
+
+Walks the paper's tuning space on a heavy-hitter (human-like) replica:
+topology choice (1D/2D/3D), the layer ablation (L0-L1 / L0-L2 /
+L0-L3), and the C2/C3 parameters — then prints a recommendation, the
+way an operator would tune DAKC for a new genome/machine pair.
+
+Run:  python examples/tuning_aggregation.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_point
+from repro.bench.tables import format_bytes, format_speedup, format_time, print_table
+from repro.bench.workloads import build_workload
+from repro.core.l2l3 import AggregationConfig
+from repro.runtime.memory import aggregation_memory_per_pe
+
+K = 31
+NODES = 8
+
+
+def main() -> None:
+    w = build_workload("human", K, budget_kmers=250_000)
+    print(f"workload: Human replica, {w.n_kmers(K):,} k-mers, "
+          f"{NODES} simulated nodes\n")
+
+    # 1. Topology: speed vs Fig. 2's memory bill.
+    rows = []
+    for proto in ("1D", "2D", "3D"):
+        pt = run_point("dakc", w, K, nodes=NODES, protocol=proto,
+                       enforce_oom_gate=False)
+        mem = aggregation_memory_per_pe(proto, NODES * 24)["total"]
+        rows.append({"topology": proto, "time": format_time(pt.sim_time),
+                     "memory/PE": format_bytes(mem)})
+    print_table(rows, title="Conveyors topology (Fig. 11 + Fig. 2 trade-off)")
+
+    # 2. Aggregation layers (Fig. 12) at per-core PEs.
+    rows = []
+    base = None
+    for label, agg in (
+        ("L0-L1", AggregationConfig(enable_l2=False, enable_l3=False)),
+        ("L0-L2", AggregationConfig(enable_l3=False)),
+        ("L0-L3", AggregationConfig()),
+    ):
+        pt = run_point("dakc", w, K, nodes=NODES, pe_granularity="core",
+                       agg=agg, enforce_oom_gate=False)
+        base = base or pt.sim_time
+        rows.append({"layers": label, "time": format_time(pt.sim_time),
+                     "speedup": format_speedup(base / pt.sim_time),
+                     "recv imbalance": f"{pt.receive_imbalance:.2f}"})
+    print_table(rows, title="Aggregation layers on heavy-hitter data (Fig. 12)")
+
+    # 3. C2/C3 sweeps (Fig. 13).
+    rows = []
+    for c2 in (4, 16, 32, 128):
+        pt = run_point("dakc", w, K, nodes=NODES,
+                       agg=AggregationConfig(c2=c2), enforce_oom_gate=False)
+        rows.append({"C2": c2, "time": format_time(pt.sim_time)})
+    print_table(rows, title="C2 sweep (Fig. 13a)")
+
+    rows = []
+    for c3 in (100, 10_000, 1_000_000):
+        pt = run_point("dakc", w, K, nodes=NODES,
+                       agg=AggregationConfig(c3=c3), enforce_oom_gate=False)
+        rows.append({"C3": c3, "time": format_time(pt.sim_time),
+                     "L3 buffer": format_bytes(8 * c3)})
+    print_table(rows, title="C3 sweep (Fig. 13b)")
+
+    print("recommendation: 1D topology when memory allows (Fig. 2), all "
+          "four layers enabled, defaults C2=32 / C3=1e4 — the paper's "
+          "configuration — with L3 mandatory on repeat-heavy genomes.")
+
+
+if __name__ == "__main__":
+    main()

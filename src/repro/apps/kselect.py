@@ -1,0 +1,85 @@
+"""Automated k-mer size selection (KmerGenie-style).
+
+The paper's introduction cites "informed and automated k-mer size
+selection for genome assembly" (Chikhi & Medvedev) as one of the
+workloads k-mer counting feeds.  The method: count at several k,
+estimate the number of *genomic* (non-erroneous, distinct) k-mers per
+k from each spectrum, and pick the k maximising it — small k collapses
+repeats together, large k fragments coverage and inflates the error
+band; the sweet spot maximises usable graph nodes.
+
+This module runs that sweep on any counter exposed by
+:func:`repro.api.count_kmers` (so the k-selection itself can execute
+on the simulated cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.result import KmerCounts
+from .spectrum import spectrum_features
+
+__all__ = ["KCandidate", "evaluate_k", "choose_k"]
+
+
+@dataclass(frozen=True, slots=True)
+class KCandidate:
+    """Spectrum-derived quality numbers of one candidate k."""
+
+    k: int
+    distinct: int
+    genomic_distinct: int  # distinct k-mers above the error valley
+    error_distinct: int
+    valley: int
+    peak: int
+
+    @property
+    def genomic_fraction(self) -> float:
+        return self.genomic_distinct / self.distinct if self.distinct else 0.0
+
+
+def evaluate_k(counts: KmerCounts) -> KCandidate:
+    """Score one k from its count spectrum."""
+    feats = spectrum_features(counts)
+    hist = counts.spectrum(max_count=1000)
+    error_distinct = int(hist[: feats.valley].sum())
+    genomic_distinct = int(hist[feats.valley :].sum())
+    return KCandidate(
+        k=counts.k,
+        distinct=counts.n_distinct,
+        genomic_distinct=genomic_distinct,
+        error_distinct=error_distinct,
+        valley=feats.valley,
+        peak=feats.peak,
+    )
+
+
+def choose_k(
+    reads,
+    ks: list[int],
+    *,
+    algorithm: str = "serial",
+    nodes: int = 1,
+    machine=None,
+) -> tuple[int, list[KCandidate]]:
+    """Count at every candidate k and pick the best.
+
+    Returns ``(best_k, candidates)`` where best maximises the genomic
+    distinct k-mer count (the KmerGenie criterion).  Counting runs
+    through :func:`repro.api.count_kmers`, so ``algorithm="dakc"``
+    performs the whole sweep on the simulated cluster.
+    """
+    from ..api import count_kmers
+
+    if not ks:
+        raise ValueError("need at least one candidate k")
+    if len(set(ks)) != len(ks):
+        raise ValueError("candidate k values must be distinct")
+    candidates = []
+    for k in sorted(ks):
+        run = count_kmers(reads, k, algorithm=algorithm, nodes=nodes,
+                          machine=machine)
+        candidates.append(evaluate_k(run.counts))
+    best = max(candidates, key=lambda c: c.genomic_distinct)
+    return best.k, candidates

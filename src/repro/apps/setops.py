@@ -1,0 +1,114 @@
+"""Set operations on counted k-mer databases (kmc_tools-style).
+
+KMC3 ships a companion (`kmc_tools`) whose *simple* operations —
+intersect, union, subtract, counters compared — are the workhorse of
+comparative genomics (e.g. shared k-mers between two strains, or
+sample-specific k-mers for variant discovery).  These are the same
+operations on :class:`~repro.core.result.KmerCounts`, vectorised over
+the ordered key arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import KmerCounts
+
+__all__ = [
+    "intersect",
+    "union",
+    "subtract",
+    "symmetric_difference",
+    "jaccard",
+    "containment",
+]
+
+
+def _check_compatible(a: KmerCounts, b: KmerCounts) -> None:
+    if a.k != b.k:
+        raise ValueError(f"k mismatch: {a.k} vs {b.k}")
+
+
+def _membership(a: KmerCounts, b: KmerCounts) -> np.ndarray:
+    """Boolean mask over a.kmers: present in b (both are sorted)."""
+    idx = np.searchsorted(b.kmers, a.kmers)
+    idx_clamped = np.minimum(idx, max(0, b.n_distinct - 1))
+    if b.n_distinct == 0:
+        return np.zeros(a.n_distinct, dtype=bool)
+    return b.kmers[idx_clamped] == a.kmers
+
+
+def intersect(a: KmerCounts, b: KmerCounts, *, mode: str = "min") -> KmerCounts:
+    """k-mers present in both; counts combined by *mode*.
+
+    ``mode``: ``"min"`` (kmc_tools default), ``"max"``, ``"sum"``,
+    ``"left"`` (keep a's counts).
+    """
+    _check_compatible(a, b)
+    in_b = _membership(a, b)
+    keys = a.kmers[in_b]
+    ca = a.counts[in_b]
+    idx = np.searchsorted(b.kmers, keys)
+    cb = b.counts[idx]
+    if mode == "min":
+        counts = np.minimum(ca, cb)
+    elif mode == "max":
+        counts = np.maximum(ca, cb)
+    elif mode == "sum":
+        counts = ca + cb
+    elif mode == "left":
+        counts = ca
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    return KmerCounts(a.k, keys, counts)
+
+
+def union(a: KmerCounts, b: KmerCounts) -> KmerCounts:
+    """All k-mers of either input; counts summed (kmc_tools 'union')."""
+    _check_compatible(a, b)
+    keys = np.concatenate((a.kmers, b.kmers))
+    vals = np.concatenate((a.counts, b.counts))
+    return KmerCounts.from_pairs(a.k, keys, vals)
+
+
+def subtract(a: KmerCounts, b: KmerCounts, *, counted: bool = False) -> KmerCounts:
+    """k-mers of *a* not in *b* (``counted=False``), or counts of *a*
+    minus counts of *b*, dropping non-positive results
+    (``counted=True`` — kmc_tools 'counters_subtract')."""
+    _check_compatible(a, b)
+    if not counted:
+        keep = ~_membership(a, b)
+        return KmerCounts(a.k, a.kmers[keep], a.counts[keep])
+    in_b = _membership(a, b)
+    counts = a.counts.copy()
+    idx = np.searchsorted(b.kmers, a.kmers[in_b])
+    counts[in_b] = counts[in_b] - b.counts[idx]
+    keep = counts > 0
+    return KmerCounts(a.k, a.kmers[keep], counts[keep])
+
+
+def symmetric_difference(a: KmerCounts, b: KmerCounts) -> KmerCounts:
+    """k-mers in exactly one of the inputs, with their counts."""
+    _check_compatible(a, b)
+    only_a = ~_membership(a, b)
+    only_b = ~_membership(b, a)
+    keys = np.concatenate((a.kmers[only_a], b.kmers[only_b]))
+    vals = np.concatenate((a.counts[only_a], b.counts[only_b]))
+    order = np.argsort(keys)
+    return KmerCounts(a.k, keys[order], vals[order])
+
+
+def jaccard(a: KmerCounts, b: KmerCounts) -> float:
+    """Jaccard similarity of the distinct k-mer sets (Mash-style)."""
+    _check_compatible(a, b)
+    inter = int(_membership(a, b).sum())
+    uni = a.n_distinct + b.n_distinct - inter
+    return inter / uni if uni else 1.0
+
+
+def containment(a: KmerCounts, b: KmerCounts) -> float:
+    """Fraction of a's distinct k-mers present in b."""
+    _check_compatible(a, b)
+    if a.n_distinct == 0:
+        return 1.0
+    return float(_membership(a, b).mean())

@@ -1,0 +1,92 @@
+"""Persistence of counted k-mer databases.
+
+Two formats:
+
+* **binary** (``.npz``) — the native format: the ordered key/count
+  arrays compressed with NumPy, plus metadata (k, canonical flag).
+  Loads back bit-exact.
+* **text** (``.tsv``) — interoperable dump, one ``KMER<TAB>count`` row
+  per distinct k-mer (what ``jellyfish dump`` / ``kmc_tools dump``
+  produce), for feeding external tools.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..core.result import KmerCounts
+from ..seq.kmers import kmer_to_str, str_to_kmer
+
+__all__ = ["save_counts", "load_counts", "dump_text", "load_text"]
+
+_FORMAT_VERSION = 1
+
+
+def save_counts(path: str | os.PathLike, counts: KmerCounts,
+                *, canonical: bool = False) -> None:
+    """Write a :class:`KmerCounts` to a compressed ``.npz`` database."""
+    np.savez_compressed(
+        Path(path),
+        version=np.int64(_FORMAT_VERSION),
+        k=np.int64(counts.k),
+        canonical=np.bool_(canonical),
+        kmers=counts.kmers,
+        counts=counts.counts,
+    )
+
+
+def load_counts(path: str | os.PathLike) -> tuple[KmerCounts, bool]:
+    """Load a database written by :func:`save_counts`.
+
+    Returns ``(counts, canonical_flag)``.
+    """
+    with np.load(Path(path)) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported database version {version}")
+        kc = KmerCounts(int(data["k"]), data["kmers"], data["counts"])
+        return kc, bool(data["canonical"])
+
+
+def dump_text(path: str | os.PathLike, counts: KmerCounts) -> int:
+    """Dump as ``KMER<TAB>count`` text; returns rows written."""
+    n = 0
+    with open(Path(path), "w") as fh:
+        for kmer, count in zip(counts.kmers.tolist(), counts.counts.tolist()):
+            fh.write(f"{kmer_to_str(kmer, counts.k)}\t{count}\n")
+            n += 1
+    return n
+
+
+def load_text(path: str | os.PathLike, k: int | None = None) -> KmerCounts:
+    """Load a ``KMER<TAB>count`` text dump back into a KmerCounts."""
+    keys: list[int] = []
+    vals: list[int] = []
+    inferred_k = k
+    with open(Path(path)) as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                kmer_s, count_s = line.split("\t")
+            except ValueError as exc:
+                raise ValueError(f"{path}:{line_no}: malformed row") from exc
+            if inferred_k is None:
+                inferred_k = len(kmer_s)
+            elif len(kmer_s) != inferred_k:
+                raise ValueError(
+                    f"{path}:{line_no}: k-mer length {len(kmer_s)} != {inferred_k}"
+                )
+            keys.append(str_to_kmer(kmer_s))
+            vals.append(int(count_s))
+    if inferred_k is None:
+        raise ValueError(f"{path}: empty dump and no k given")
+    return KmerCounts.from_pairs(
+        inferred_k,
+        np.array(keys, dtype=np.uint64),
+        np.array(vals, dtype=np.int64),
+    )

@@ -1,0 +1,603 @@
+"""Experiment registry: one entry per table and figure of the paper.
+
+Every function regenerates the rows/series of its table or figure on
+scaled replica workloads (see DESIGN.md §3 for the index).  All return
+an :class:`ExperimentResult` whose ``tables`` render with
+:func:`repro.bench.tables.print_table`; the ``benchmarks/`` tree and
+the CLI (``dakc bench``) are thin wrappers over this registry.
+
+Conventions:
+
+* node counts are *simulated* nodes (PE = node granularity unless the
+  experiment is single-node, where PE = core or socket as deployed in
+  the paper);
+* ``budget`` is the approximate k-mer count of each replica workload;
+* speedups are ratios of simulated kernel times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.l2l3 import AggregationConfig
+from ..model.analytical import predict
+from ..model.params import table4_rows
+from ..model.roofline import H100_BALANCE, hardware_balance, operational_intensity
+from ..model.validation import validate_workload
+from ..runtime.machine import phoenix_amd, phoenix_intel
+from ..runtime.memory import aggregation_memory_per_pe, table3_rows
+from ..runtime.topology import make_topology
+from ..seq.datasets import get_spec, table5_rows
+from .harness import best_time, run_point, sweep_nodes
+from .tables import format_bytes, format_speedup, format_table, format_time
+from .workloads import DEFAULT_BUDGET_KMERS, build_workload
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "list_experiments"]
+
+#: Default k everywhere: the paper counts k=31 in every experiment.
+K = 31
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + rendered tables of one regenerated table/figure."""
+
+    exp_id: str
+    title: str
+    tables: list[tuple[str, list[dict]]] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        parts = [f"### {self.exp_id}: {self.title}\n"]
+        for title, rows in self.tables:
+            parts.append(format_table(rows, title=title))
+        if self.notes:
+            parts.append(f"Notes: {self.notes}\n")
+        return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+
+def table2(*, p: int = 256, **_) -> ExperimentResult:
+    """Table II: Conveyors protocol properties, verified on topologies."""
+    rows = []
+    for proto, mem_class in (("1D", "O(P^2)"), ("2D", "O(P^(3/2))"), ("3D", "O(P^(4/3))")):
+        topo = make_topology(proto, p)
+        # Sample with coprime strides so 2D/3D pairs land off-axis.
+        hops = max(
+            topo.hop_count(s, d)
+            for s in range(0, p, max(1, min(17, p // 4 or 1)))
+            for d in range(0, p, max(1, min(13, p // 4 or 1)))
+        )
+        rows.append(
+            {
+                "Protocol": proto,
+                "Topology": "All-Connected" if proto == "1D" else f"{proto} HyperX",
+                "Memory": mem_class,
+                "Total buffers": topo.total_buffers(),
+                "#Hops": hops,
+            }
+        )
+    return ExperimentResult(
+        "table2",
+        "Conveyors protocols (topology, memory, hops)",
+        [(f"Table II @ P={p}", rows)],
+        notes="Total buffers measured on the actual virtual topologies; "
+        "hop counts verified over a sample of (src, dst) pairs.",
+    )
+
+
+def table3(*, p: int = 256, **_) -> ExperimentResult:
+    """Table III: aggregation parameters and memory per PE."""
+    return ExperimentResult(
+        "table3",
+        "Aggregation parameters",
+        [(f"Table III @ P={p}", table3_rows(p))],
+    )
+
+
+def table4(**_) -> ExperimentResult:
+    """Table IV: model parameters for Phoenix."""
+    return ExperimentResult("table4", "Model parameters (Phoenix Intel)",
+                            [("Table IV", table4_rows())])
+
+
+def table5(**_) -> ExperimentResult:
+    """Table V: dataset inventory at paper scale."""
+    return ExperimentResult("table5", "Datasets used in experiments",
+                            [("Table V", table5_rows())])
+
+
+# ---------------------------------------------------------------------------
+# Headline and memory figures
+# ---------------------------------------------------------------------------
+
+#: Fig. 1 datasets with replica budgets roughly tracking their real
+#: relative sizes (the paper's scatter sizes dots by input size).
+_FIG1_DATASETS = [
+    ("synthetic-24", 200_000),
+    ("synthetic-26", 400_000),
+    ("p-aeruginosa", 250_000),
+    ("s-coelicolor", 300_000),
+    ("human", 500_000),
+]
+
+
+def fig1(*, budget: int | None = None, seed: int = 0, **_) -> ExperimentResult:
+    """Fig. 1: speedup of DAKC over baselines per dataset."""
+    rows = []
+    nodes_grid = [4, 8, 16]
+    for key, ds_budget in _FIG1_DATASETS:
+        w = build_workload(key, K, budget_kmers=budget or ds_budget, seed=seed)
+        pts = sweep_nodes(["dakc", "pakman*", "hysortk"], w, K, nodes_grid, verify=False)
+        t_dakc = best_time(pts, "dakc")
+        t_pak = best_time(pts, "pakman*")
+        t_hys = best_time(pts, "hysortk")
+        kmc = run_point("kmc3", w, K, nodes=1)
+        rows.append(
+            {
+                "dataset": w.spec.display,
+                "kmers": w.n_kmers(K),
+                "vs KMC3": format_speedup(kmc.sim_time / t_dakc),
+                "vs PakMan*": format_speedup(t_pak / t_dakc),
+                "vs HySortK": format_speedup(t_hys / t_dakc),
+            }
+        )
+    return ExperimentResult(
+        "fig1",
+        "Speedup of DAKC over baselines (headline)",
+        [("Fig. 1 (best configuration per method)", rows)],
+        notes="Paper: 15-102x over shared memory (KMC3), 2.3x/2.8x mean over "
+        "HySortK/PakMan*.",
+    )
+
+
+def fig2(*, node_counts: list[int] | None = None, **_) -> ExperimentResult:
+    """Fig. 2: per-core memory overhead of 1D/2D/3D conveyors."""
+    node_counts = node_counts or [2, 4, 8, 16, 32, 64, 128, 256]
+    machine = phoenix_intel(1)
+    rows = []
+    for nodes in node_counts:
+        p = nodes * machine.cores_per_node
+        row = {"nodes": nodes, "cores (P)": p}
+        for proto in ("1D", "2D", "3D"):
+            row[proto] = format_bytes(aggregation_memory_per_pe(proto, p)["total"])
+        rows.append(row)
+    return ExperimentResult(
+        "fig2",
+        "Per-core memory overhead of 1D/2D/3D Conveyors (Synthetic 32 strong scaling)",
+        [("Fig. 2", rows)],
+        notes="1D grows linearly in P and dominates at high core counts; "
+        "2D/3D stay modest (Table III closed forms).",
+    )
+
+
+_FIG34_BUDGETS = [50_000, 100_000, 200_000, 400_000, 800_000]
+
+
+def fig3(*, seed: int = 0, budgets: list[int] | None = None, **_) -> ExperimentResult:
+    """Fig. 3: LLC misses, model vs measured (8 nodes)."""
+    budgets = budgets or _FIG34_BUDGETS
+    machine = phoenix_intel(8)
+    rows = []
+    for budget in budgets:
+        # Low-coverage replicas keep the genome far larger than the L3
+        # window, so wire volume tracks k-mer volume as at paper scale.
+        w = build_workload("synthetic-24", K, budget_kmers=budget, seed=seed,
+                           coverage=2)
+        row, _, _ = validate_workload(w, K, machine)
+        rows.append(
+            {
+                "kmers": row.n_kmers,
+                "P1 predicted": f"{row.predicted_misses_p1:.3g}",
+                "P1 measured": f"{row.measured_misses_p1:.3g}",
+                "P2 predicted": f"{row.predicted_misses_p2:.3g}",
+                "P2 measured": f"{row.measured_misses_p2:.3g}",
+            }
+        )
+    return ExperimentResult(
+        "fig3",
+        "Last-level cache misses: model vs measured (8 nodes)",
+        [("Fig. 3", rows)],
+        notes="Phase-1 prediction is a slight underestimate (optimal vs real "
+        "replacement); Phase-2 prediction overestimates (worst-case radix "
+        "model vs the hybrid sorter's early termination).",
+    )
+
+
+def fig4(*, seed: int = 0, budgets: list[int] | None = None, **_) -> ExperimentResult:
+    """Fig. 4: phase times, model (Sum/Max) vs measured (8 nodes)."""
+    budgets = budgets or _FIG34_BUDGETS
+    machine = phoenix_intel(8)
+    rows = []
+    for budget in budgets:
+        w = build_workload("synthetic-24", K, budget_kmers=budget, seed=seed,
+                           coverage=2)
+        row, _, _ = validate_workload(w, K, machine)
+        rows.append(
+            {
+                "kmers": row.n_kmers,
+                "T1 sum-model": format_time(row.predicted_t1_sum),
+                "T1 max-model": format_time(row.predicted_t1_max),
+                "T1 measured": format_time(row.measured_t1),
+                "T2 model": format_time(row.predicted_t2),
+                "T2 measured": format_time(row.measured_t2),
+            }
+        )
+    return ExperimentResult(
+        "fig4",
+        "Phase execution time: model vs measured (8 nodes)",
+        [("Fig. 4", rows)],
+        notes="Model underestimates but stays in the same ballpark "
+        "(paper's wording).",
+    )
+
+
+def fig5(**_) -> ExperimentResult:
+    """Fig. 5: time breakdown of Synthetic 30 on 32 nodes (pure model)."""
+    spec = get_spec("synthetic-30")
+    machine = phoenix_intel(32)
+    pred = predict(spec.n_reads, spec.read_len, K, machine)
+    shares = pred.breakdown("sum")
+    rows = [
+        {"component": name, "share": f"{100 * val:.1f} %"}
+        for name, val in shares.items()
+    ]
+    oi = operational_intensity(spec.n_reads, spec.read_len, K)
+    roof = [
+        {"quantity": "DAKC op-to-byte", "value": f"{oi:.3f} iadd64/B (1 per {1/oi:.2f} B)"},
+        {"quantity": "Phoenix CPU balance", "value": f"{hardware_balance():.2f} iadd64/B"},
+        {"quantity": "NVIDIA H100 balance", "value": f"{H100_BALANCE:.1f} iadd64/B"},
+    ]
+    return ExperimentResult(
+        "fig5",
+        "Compute/intranode/internode breakdown, Synthetic 30 @ 32 nodes",
+        [("Fig. 5 (analytical, no overlap)", rows), ("Section VII roofline", roof)],
+        notes="Paper: compute share is very small; data movement dominates.",
+    )
+
+
+def fig6(*, budget: int = DEFAULT_BUDGET_KMERS, seed: int = 0, **_) -> ExperimentResult:
+    """Fig. 6: PakMan (quicksort) vs PakMan* (radix) ~2x."""
+    rows = []
+    for key in ("synthetic-27", "synthetic-28", "synthetic-29", "synthetic-30"):
+        w = build_workload(key, K, budget_kmers=budget, seed=seed)
+        nodes = 8
+        quick = run_point("pakman", w, K, nodes=nodes)
+        star = run_point("pakman*", w, K, nodes=nodes)
+        rows.append(
+            {
+                "dataset": w.spec.display,
+                "PakMan (quicksort)": format_time(quick.sim_time),
+                "PakMan* (radix)": format_time(star.sim_time),
+                "speedup": format_speedup(quick.sim_time / star.sim_time),
+            }
+        )
+    return ExperimentResult(
+        "fig6",
+        "Radix sort in PakMan (PakMan*) vs original quicksort",
+        [("Fig. 6 @ 8 nodes", rows)],
+        notes="Paper reports ~2x from the sort swap alone.  Replica shows "
+        "~1.2-1.4x: a comparison sort's log2(n) depth shrinks with the "
+        "scaled per-rank array (11 levels vs ~26 at paper scale), so "
+        "the constant-factor gap cannot fully reappear at replica size.",
+    )
+
+
+_FIG7_DATASETS = [
+    "p-aeruginosa",
+    "s-coelicolor",
+    "f-vesca",
+    "human",
+    "synthetic-27",
+    "synthetic-29",
+]
+
+
+def fig7(
+    *,
+    budget: int = DEFAULT_BUDGET_KMERS,
+    seed: int = 0,
+    node_counts: list[int] | None = None,
+    datasets: list[str] | None = None,
+    **_,
+) -> ExperimentResult:
+    """Fig. 7: strong scaling on real + synthetic datasets."""
+    node_counts = node_counts or [1, 2, 4, 8, 16, 32]
+    datasets = datasets or _FIG7_DATASETS
+    tables = []
+    ratios = []
+    for key in datasets:
+        spec = get_spec(key)
+        w = build_workload(key, K, budget_kmers=budget, seed=seed)
+        # The paper enables L3 only on the heavy-hitter genomes.
+        agg = AggregationConfig(enable_l3=spec.heavy)
+        rows = []
+        for nodes in node_counts:
+            d = run_point("dakc", w, K, nodes=nodes, agg=agg)
+            p = run_point("pakman*", w, K, nodes=nodes)
+            h = run_point("hysortk", w, K, nodes=nodes)
+            rows.append(
+                {
+                    "nodes": nodes,
+                    "DAKC": "OOM" if d.oom else format_time(d.sim_time),
+                    "PakMan*": "OOM" if p.oom else format_time(p.sim_time),
+                    "HySortK": "OOM" if h.oom else format_time(h.sim_time),
+                }
+            )
+            if not (p.oom or h.oom):
+                ratios.append(p.sim_time / h.sim_time)
+        tables.append((f"Fig. 7 — {spec.display} ({spec.organism})", rows))
+    note = ""
+    if ratios:
+        note = (
+            f"Blocking-vs-nonblocking (Sec. VI-E): HySortK is "
+            f"{np.mean(ratios):.2f}x faster than PakMan* on average "
+            f"(paper: 1.17x)."
+        )
+    return ExperimentResult("fig7", "Strong scaling (up to 256 nodes in the paper)",
+                            tables, notes=note)
+
+
+def fig8(
+    *, budget: int = DEFAULT_BUDGET_KMERS, seed: int = 0,
+    node_counts: list[int] | None = None, **_,
+) -> ExperimentResult:
+    """Fig. 8: strong scaling on Synthetic 32 with OOM gating."""
+    node_counts = node_counts or [16, 32, 64, 128, 256]
+    w = build_workload("synthetic-32", K, budget_kmers=budget, seed=seed)
+    rows = []
+    for nodes in node_counts:
+        d = run_point("dakc", w, K, nodes=nodes)
+        p = run_point("pakman*", w, K, nodes=nodes)
+        h = run_point("hysortk", w, K, nodes=nodes)
+        rows.append(
+            {
+                "nodes": nodes,
+                "DAKC": "OOM" if d.oom else format_time(d.sim_time),
+                "PakMan*": "OOM" if p.oom else format_time(p.sim_time),
+                "HySortK": "OOM" if h.oom else format_time(h.sim_time),
+            }
+        )
+    return ExperimentResult(
+        "fig8",
+        "Strong scaling, Synthetic 32 (451 GB)",
+        [("Fig. 8", rows)],
+        notes="Paper: PakMan* OOMs at 16 & 32 nodes; HySortK does not run "
+        "at any node count; DAKC runs everywhere.",
+    )
+
+
+def fig9(*, budget: int = DEFAULT_BUDGET_KMERS, seed: int = 0, **_) -> ExperimentResult:
+    """Fig. 9: single-node comparison on AMD (128c) and Intel (24c)."""
+    tables = []
+    for label, machine, gran in (
+        ("Intel node (24 cores)", phoenix_intel(1), "core"),
+        ("AMD node (128 cores)", phoenix_amd(1), "core"),
+    ):
+        rows = []
+        for key, ds_budget in (("synthetic-22", 200_000), ("synthetic-24", 400_000),
+                               ("p-aeruginosa", 300_000)):
+            w = build_workload(key, K, budget_kmers=ds_budget, seed=seed)
+            d = run_point("dakc", w, K, machine=machine, nodes=1, pe_granularity=gran)
+            kc = run_point("kmc3", w, K, machine=machine, nodes=1)
+            p = run_point("pakman*", w, K, machine=machine, nodes=1, pe_granularity=gran)
+            h = run_point("hysortk", w, K, machine=machine, nodes=1,
+                          pe_granularity="socket")
+            rows.append(
+                {
+                    "dataset": w.spec.display,
+                    "DAKC": format_time(d.sim_time),
+                    "vs KMC3": format_speedup(kc.sim_time / d.sim_time),
+                    "vs PakMan*": format_speedup(p.sim_time / d.sim_time),
+                    "vs HySortK": format_speedup(h.sim_time / d.sim_time),
+                }
+            )
+        tables.append((f"Fig. 9 — {label}", rows))
+    return ExperimentResult(
+        "fig9",
+        "Shared-memory (single node) speedups",
+        tables,
+        notes="Paper: DAKC ~2x over KMC3 and ~2x over the distributed "
+        "baselines on one node (co-located sends become memcpys).",
+    )
+
+
+def fig10(
+    *, base_budget: int = 100_000, seed: int = 0,
+    node_counts: list[int] | None = None, **_,
+) -> ExperimentResult:
+    """Fig. 10: weak scaling — problem grows with the node count."""
+    node_counts = node_counts or [1, 2, 4, 8, 16, 32]
+    rows = []
+    base_scale = 24
+    for i, nodes in enumerate(node_counts):
+        key = f"synthetic-{base_scale + i}"
+        w = build_workload(key, K, budget_kmers=base_budget * nodes, seed=seed)
+        d = run_point("dakc", w, K, nodes=nodes)
+        p = run_point("pakman*", w, K, nodes=nodes)
+        h = run_point("hysortk", w, K, nodes=nodes)
+        rows.append(
+            {
+                "nodes": nodes,
+                "dataset": w.spec.display,
+                "DAKC": "OOM" if d.oom else format_time(d.sim_time),
+                "PakMan*": "OOM" if p.oom else format_time(p.sim_time),
+                "HySortK": "OOM" if h.oom else format_time(h.sim_time),
+                "DAKC vs HySortK": "-" if (d.oom or h.oom) else format_speedup(h.sim_time / d.sim_time),
+                "DAKC vs PakMan*": "-" if (d.oom or p.oom) else format_speedup(p.sim_time / d.sim_time),
+            }
+        )
+    return ExperimentResult(
+        "fig10",
+        "Weak scaling on synthetic datasets",
+        [("Fig. 10", rows)],
+        notes="Paper: DAKC 1.7-3.4x over HySortK and 2.0-6.3x over PakMan*; "
+        "flat lines = perfect weak scaling.",
+    )
+
+
+def fig11(
+    *, budget: int = DEFAULT_BUDGET_KMERS, seed: int = 0,
+    node_counts: list[int] | None = None, **_,
+) -> ExperimentResult:
+    """Fig. 11: 2D/3D Conveyors speedup over 1D (expected < 1)."""
+    node_counts = node_counts or [4, 8, 16, 32]
+    w = build_workload("synthetic-27", K, budget_kmers=budget, seed=seed)
+    rows = []
+    for nodes in node_counts:
+        times = {}
+        for proto in ("1D", "2D", "3D"):
+            pt = run_point("dakc", w, K, nodes=nodes, protocol=proto)
+            times[proto] = pt.sim_time
+        rows.append(
+            {
+                "nodes": nodes,
+                "1D": format_time(times["1D"]),
+                "2D/1D speedup": format_speedup(times["1D"] / times["2D"]),
+                "3D/1D speedup": format_speedup(times["1D"] / times["3D"]),
+            }
+        )
+    return ExperimentResult(
+        "fig11",
+        "Choice of Conveyors topology",
+        [("Fig. 11", rows)],
+        notes="Paper: 1D is 10-20% faster than 2D/3D (speedups < 1) at the "
+        "cost of the Fig. 2 memory overhead.",
+    )
+
+
+def fig12(
+    *, budget: int = 300_000, seed: int = 0,
+    node_counts: list[int] | None = None, **_,
+) -> ExperimentResult:
+    """Fig. 12: aggregation-layer ablation on Human and Synthetic 32.
+
+    Runs at PE-per-core granularity: the heavy-hitter penalty of the
+    L0-L1/L0-L2 configurations is incast at the hot owner *core*, so
+    it scales with the PE count (the paper's 66x is at 6144 cores; the
+    replica shows the same multiplicative trend at its smaller core
+    counts).
+    """
+    node_counts = node_counts or [4, 16]
+    configs = [
+        ("L0-L1", AggregationConfig(enable_l2=False, enable_l3=False)),
+        ("L0-L2", AggregationConfig(enable_l2=True, enable_l3=False)),
+        ("L0-L3", AggregationConfig(enable_l2=True, enable_l3=True)),
+    ]
+    tables = []
+    for key in ("human", "synthetic-32"):
+        w = build_workload(key, K, budget_kmers=budget, seed=seed)
+        rows = []
+        for nodes in node_counts:
+            row = {"nodes": nodes, "cores": nodes * 24}
+            base = None
+            for label, agg in configs:
+                pt = run_point("dakc", w, K, nodes=nodes, agg=agg,
+                               pe_granularity="core", enforce_oom_gate=False)
+                row[label] = format_time(pt.sim_time)
+                if label == "L0-L1":
+                    base = pt.sim_time
+                else:
+                    row[f"{label} speedup"] = format_speedup(base / pt.sim_time)
+            rows.append(row)
+        tables.append((f"Fig. 12 — {w.spec.display}", rows))
+    return ExperimentResult(
+        "fig12",
+        "Benefit of the application aggregation layers",
+        tables,
+        notes="Paper: L2 gives ~2x on uniform data (L3 adds nothing there); "
+        "on Human the L3 layer is essential, with speedup growing with the "
+        "core count (up to 66x over L0-L1 at 6144 cores).",
+    )
+
+
+def fig13(
+    *, budget: int = DEFAULT_BUDGET_KMERS, seed: int = 0, nodes: int = 8, **_,
+) -> ExperimentResult:
+    """Fig. 13: tuning C2 and C3."""
+    # A reduced-coverage replica keeps the genome much larger than any
+    # swept C3, so within-chunk duplicate density stays paper-like
+    # (uniform genomes have almost no repeats at C3 granularity).
+    w = build_workload("synthetic-26", K, budget_kmers=budget, seed=seed, coverage=6)
+    base = run_point(
+        "dakc", w, K, nodes=nodes, agg=AggregationConfig()
+    ).sim_time
+    rows_c2 = []
+    for c2 in (2, 4, 8, 16, 32, 64, 128):
+        pt = run_point("dakc", w, K, nodes=nodes, agg=AggregationConfig(c2=c2))
+        rows_c2.append(
+            {"C2": c2, "time": format_time(pt.sim_time),
+             "speedup vs C2=32": format_speedup(base / pt.sim_time)}
+        )
+    # The C3 sweep runs on the heavy-hitter (Human) replica: too-small
+    # C3 windows fail to catch heavy k-mers (local counts stay <= 2),
+    # inflating communication volume, while oversized C3 pays extra
+    # sorting — both ends of the paper's Fig. 13b U-shape.
+    wh = build_workload("human", K, budget_kmers=budget, seed=seed)
+    base_h = run_point("dakc", wh, K, nodes=nodes, agg=AggregationConfig(),
+                       enforce_oom_gate=False).sim_time
+    rows_c3 = []
+    for c3 in (100, 1_000, 10_000, 100_000, 1_000_000):
+        pt = run_point("dakc", wh, K, nodes=nodes, agg=AggregationConfig(c3=c3),
+                       enforce_oom_gate=False)
+        rows_c3.append(
+            {"C3": c3, "time": format_time(pt.sim_time),
+             "speedup vs C3=1e4": format_speedup(base_h / pt.sim_time)}
+        )
+    return ExperimentResult(
+        "fig13",
+        "Tuning the application aggregation parameters",
+        [("Fig. 13a — C2 sweep", rows_c2), ("Fig. 13b — C3 sweep", rows_c3)],
+        notes="Paper: flat for C2 >= 8, degraded for C2 <= 4; flat for "
+        "1e3 <= C3 <= 1e6 with degradation outside.  Replica artifact: "
+        "C3 >= 1e5 shows a mild extra gain because the scaled per-PE "
+        "stream is comparable to C3, letting one window deduplicate "
+        "across the whole stream; at paper scale (1e9 k-mers/PE) this "
+        "effect vanishes.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+EXPERIMENTS = {
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+}
+
+
+def list_experiments() -> list[str]:
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
+    """Run one registered experiment by id (e.g. ``"fig7"``)."""
+    try:
+        fn = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {', '.join(list_experiments())}"
+        ) from None
+    return fn(**kwargs)

@@ -1,0 +1,396 @@
+"""Command-line interface: ``dakc`` / ``python -m repro``.
+
+Subcommands:
+
+* ``count``    — count k-mers in a FASTA/FASTQ file (or a generated
+  dataset replica) with any algorithm and print a summary/spectrum.
+* ``datasets`` — print Table V (the dataset inventory).
+* ``model``    — evaluate the analytical model for a dataset/machine.
+* ``bench``    — regenerate a paper table or figure by id (``fig7``,
+  ``table5``, ...), or ``all``.
+* ``simulate`` — generate a synthetic FASTQ replica to disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dakc",
+        description="DAKC reproduction: distributed asynchronous k-mer counting "
+        "on a simulated PGAS machine.",
+    )
+    parser.add_argument("--version", action="version", version=f"dakc {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_count = sub.add_parser("count", help="count k-mers in a FASTX file or dataset")
+    src = p_count.add_mutually_exclusive_group(required=True)
+    src.add_argument("--input", help="FASTA/FASTQ file path")
+    src.add_argument("--dataset", help="Table V dataset key (e.g. synthetic-24)")
+    p_count.add_argument("-k", type=int, default=31, help="k-mer length (default 31)")
+    p_count.add_argument("--algorithm", default="dakc",
+                         help="serial|dakc|bsp|pakman|pakman*|hysortk|kmc3")
+    p_count.add_argument("--nodes", type=int, default=1, help="simulated node count")
+    p_count.add_argument("--machine", default="phoenix-intel",
+                         help="machine preset (phoenix-intel|phoenix-amd|laptop)")
+    p_count.add_argument("--protocol", default="1D", help="Conveyors topology (DAKC)")
+    p_count.add_argument("--canonical", action="store_true",
+                         help="count canonical (strand-folded) k-mers")
+    p_count.add_argument("--budget", type=int, default=400_000,
+                         help="replica k-mer budget when using --dataset")
+    p_count.add_argument("--top", type=int, default=0,
+                         help="print the N most frequent k-mers")
+    p_count.add_argument("--spectrum", type=int, default=0,
+                         help="print the k-mer spectrum up to this count")
+    p_count.add_argument("--output", help="write counts as TSV to this path")
+    p_count.add_argument("--save", help="write counts as a binary .npz database")
+
+    p_data = sub.add_parser("datasets", help="print Table V")
+
+    p_model = sub.add_parser("model", help="evaluate the analytical model (Sec. V)")
+    p_model.add_argument("--dataset", default="synthetic-30")
+    p_model.add_argument("-k", type=int, default=31)
+    p_model.add_argument("--nodes", type=int, default=32)
+    p_model.add_argument("--machine", default="phoenix-intel")
+
+    p_bench = sub.add_parser("bench", help="regenerate a paper table/figure")
+    p_bench.add_argument("experiment", help="experiment id (fig1..fig13, "
+                         "table2..table5) or 'all' or 'list'")
+    p_bench.add_argument("--budget", type=int, default=None,
+                         help="override the replica k-mer budget")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--report", help="also write a markdown report here")
+
+    p_sim = sub.add_parser("simulate", help="write a synthetic FASTQ replica")
+    p_sim.add_argument("--dataset", default="synthetic-20")
+    p_sim.add_argument("--fidelity", type=float, default=2**-10)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--output", required=True, help="FASTQ output path")
+
+    p_an = sub.add_parser("analyze", help="spectrum analysis of a count database")
+    p_an.add_argument("database", help=".npz written by `count --save` or a .tsv dump")
+    p_an.add_argument("--max-count", type=int, default=1000)
+
+    p_cmp = sub.add_parser("compare", help="compare two count databases")
+    p_cmp.add_argument("a", help="first database (.npz or .tsv)")
+    p_cmp.add_argument("b", help="second database (.npz or .tsv)")
+
+    p_sw = sub.add_parser("sweep", help="custom strong-scaling sweep")
+    p_sw.add_argument("--dataset", default="synthetic-26")
+    p_sw.add_argument("-k", type=int, default=31)
+    p_sw.add_argument("--algorithms", default="dakc,pakman*,hysortk",
+                      help="comma-separated algorithm list")
+    p_sw.add_argument("--nodes", default="1,2,4,8,16",
+                      help="comma-separated node counts")
+    p_sw.add_argument("--budget", type=int, default=200_000)
+    p_sw.add_argument("--plot", action="store_true", help="ASCII log-log chart")
+
+    p_cal = sub.add_parser("calibrate",
+                           help="microbenchmark this host into a machine config")
+    p_cal.add_argument("--cores", type=int, default=8,
+                       help="core count to assume for node-level rates")
+    p_cal.add_argument("--quick", action="store_true",
+                       help="small measurement sizes (noisy, fast)")
+
+    p_tl = sub.add_parser("timeline", help="ASCII Gantt of a simulated run")
+    p_tl.add_argument("--dataset", default="synthetic-20")
+    p_tl.add_argument("-k", type=int, default=31)
+    p_tl.add_argument("--algorithm", default="dakc")
+    p_tl.add_argument("--nodes", type=int, default=2)
+    p_tl.add_argument("--budget", type=int, default=100_000)
+    p_tl.add_argument("--width", type=int, default=100)
+
+    return parser
+
+
+def _cmd_count(args) -> int:
+    from .api import count_kmers
+    from .bench.tables import format_time
+    from .bench.workloads import build_workload
+    from .seq.kmers import kmer_to_str
+
+    if args.dataset:
+        workload = build_workload(args.dataset, args.k, budget_kmers=args.budget)
+        reads = workload.reads
+        source = f"{workload.spec.display} (replica, {workload.n_reads} reads)"
+    else:
+        reads = args.input
+        source = args.input
+
+    run = count_kmers(
+        reads,
+        args.k,
+        algorithm=args.algorithm,
+        machine=args.machine,
+        nodes=args.nodes,
+        protocol=args.protocol,
+        canonical=args.canonical,
+    )
+    kc = run.counts
+    print(f"# source:        {source}")
+    print(f"# algorithm:     {run.algorithm}  (k={args.k}, nodes={args.nodes})")
+    print(f"# total k-mers:  {kc.total:,}")
+    print(f"# distinct:      {kc.n_distinct:,}")
+    print(f"# max count:     {kc.max_count:,}")
+    if run.stats.sim_time:
+        print(f"# simulated kernel time: {format_time(run.stats.sim_time)}")
+        print(f"# global syncs: {run.stats.global_syncs}")
+    if args.top:
+        order = kc.counts.argsort()[::-1][: args.top]
+        print(f"# top {args.top} k-mers:")
+        for i in order:
+            print(f"{kmer_to_str(int(kc.kmers[i]), args.k)}\t{int(kc.counts[i])}")
+    if args.spectrum:
+        spec = kc.spectrum(max_count=args.spectrum)
+        print("# spectrum (count\t#distinct):")
+        for c in range(1, len(spec)):
+            print(f"{c}\t{int(spec[c])}")
+    if args.output:
+        with open(args.output, "w") as fh:
+            for kmer, count in zip(kc.kmers.tolist(), kc.counts.tolist()):
+                fh.write(f"{kmer_to_str(kmer, args.k)}\t{count}\n")
+        print(f"# wrote {kc.n_distinct} rows to {args.output}")
+    if args.save:
+        from .apps.store import save_counts
+
+        save_counts(args.save, kc, canonical=args.canonical)
+        print(f"# saved binary database to {args.save}")
+    return 0
+
+
+def _load_database(path: str):
+    from .apps.store import load_counts, load_text
+
+    if str(path).endswith(".npz"):
+        counts, _ = load_counts(path)
+        return counts
+    return load_text(path)
+
+
+def _cmd_analyze(args) -> int:
+    from .apps.spectrum import (
+        estimate_error_rate,
+        estimate_genome_size,
+        solid_threshold,
+        spectrum_features,
+    )
+
+    kc = _load_database(args.database)
+    feats = spectrum_features(kc, max_count=args.max_count)
+    print(f"# database:           {args.database} (k={kc.k})")
+    print(f"# distinct k-mers:    {kc.n_distinct:,}")
+    print(f"# total occurrences:  {kc.total:,}")
+    print(f"# error valley:       count = {feats.valley}")
+    print(f"# coverage peak:      count = {feats.peak}")
+    print(f"# error mass:         {feats.error_mass:,} occurrences")
+    print(f"# signal mass:        {feats.signal_mass:,} occurrences")
+    print(f"# solid threshold:    {solid_threshold(kc, max_count=args.max_count)}")
+    print(f"# est. genome size:   {estimate_genome_size(kc, max_count=args.max_count):,} bp")
+    print(f"# est. error rate:    {estimate_error_rate(kc, max_count=args.max_count):.4%}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .apps.setops import containment, intersect, jaccard, symmetric_difference
+
+    a = _load_database(args.a)
+    b = _load_database(args.b)
+    shared = intersect(a, b)
+    print(f"# A: {args.a}  ({a.n_distinct:,} distinct, k={a.k})")
+    print(f"# B: {args.b}  ({b.n_distinct:,} distinct, k={b.k})")
+    print(f"# shared distinct:    {shared.n_distinct:,}")
+    print(f"# unique to either:   {symmetric_difference(a, b).n_distinct:,}")
+    print(f"# jaccard:            {jaccard(a, b):.4f}")
+    print(f"# containment(A in B): {containment(a, b):.4f}")
+    print(f"# containment(B in A): {containment(b, a):.4f}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .bench.harness import run_point
+    from .bench.plots import scaling_chart
+    from .bench.tables import format_time, print_table
+    from .bench.workloads import build_workload
+
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    node_counts = [int(n) for n in args.nodes.split(",")]
+    w = build_workload(args.dataset, args.k, budget_kmers=args.budget)
+    print(f"# sweep: {w.spec.display} replica ({w.n_kmers(args.k):,} k-mers), "
+          f"k={args.k}")
+    rows = []
+    curves: dict[str, dict[int, float]] = {a: {} for a in algorithms}
+    for nodes in node_counts:
+        row = {"nodes": nodes}
+        for algo in algorithms:
+            pt = run_point(algo, w, args.k, nodes=nodes)
+            row[algo] = "OOM" if pt.oom else format_time(pt.sim_time)
+            if not pt.oom:
+                curves[algo][nodes] = pt.sim_time
+        rows.append(row)
+    print_table(rows, title="simulated kernel time")
+    if args.plot:
+        print(scaling_chart(curves, title="log-log scaling (lower is better)"))
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from .runtime.calibrate import calibrate_machine
+
+    print("measuring host (this takes a few seconds)...")
+    result = calibrate_machine(cores=args.cores, quick=args.quick)
+    m = result.machine
+    print(f"# INT64 throughput (1 thread): {result.int64_ops / 1e9:.2f} GOp/s")
+    print(f"# streaming memory bandwidth:  {result.memory_bandwidth / 1e9:.2f} GB/s")
+    print(f"# estimated LLC size:          {result.cache_bytes / 1e6:.1f} MB")
+    print("# resulting machine (Table IV analog):")
+    print(f"#   c_node    = {m.c_node / 1e9:.1f} GOp/s  ({args.cores} cores)")
+    print(f"#   beta_mem  = {m.beta_mem / 1e9:.1f} GB/s")
+    print(f"#   Z         = {m.cache_bytes / 1e6:.1f} MB, L = {m.line_bytes} B")
+    print(f"#   beta_link = {m.beta_link / 1e9:.1f} GB/s (inherited; no NIC to measure)")
+    print("use: MachineConfig from repro.runtime.calibrate.calibrate_machine()")
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from .api import count_kmers
+    from .bench.workloads import build_workload
+    from .runtime.cost import CostModel
+    from .runtime.machine import phoenix_intel
+    from .runtime.trace import Tracer, render_gantt
+
+    w = build_workload(args.dataset, args.k, budget_kmers=args.budget)
+    tracer = Tracer()
+    machine = phoenix_intel(args.nodes)
+    cost = CostModel(machine, cores_per_pe=machine.cores_per_node, tracer=tracer)
+    if args.algorithm == "dakc":
+        from .core.dakc import dakc_count
+
+        _, stats = dakc_count(w.reads, args.k, cost)
+    elif args.algorithm in ("bsp", "pakman*", "pakman"):
+        from .core.bsp import BspConfig, bsp_count
+
+        sort = "quicksort" if args.algorithm == "pakman" else "radix"
+        _, stats = bsp_count(
+            w.reads, args.k, cost,
+            BspConfig(batch_size=max(1, w.n_kmers(args.k) // (args.nodes * 4)),
+                      sort=sort),
+        )
+    else:
+        raise ValueError(f"timeline supports dakc/bsp/pakman*, not {args.algorithm!r}")
+    print(f"# {args.algorithm} on {w.spec.display} replica, {args.nodes} nodes, "
+          f"{stats.global_syncs} global syncs, sim time {stats.sim_time:.3g}s")
+    print(render_gantt(tracer, width=args.width))
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    from .bench.tables import print_table
+    from .seq.datasets import table5_rows
+
+    print_table(table5_rows(), title="Table V: Datasets Used in Experiments")
+    return 0
+
+
+def _cmd_model(args) -> int:
+    from .api import resolve_machine
+    from .bench.tables import format_time, print_table
+    from .model.analytical import predict
+    from .model.roofline import roofline_point
+    from .seq.datasets import get_spec
+
+    spec = get_spec(args.dataset)
+    machine = resolve_machine(args.machine, args.nodes)
+    pred = predict(spec.n_reads, spec.read_len, args.k, machine)
+    rows = [
+        {"phase": "1 (generate+reshuffle)",
+         "compute": format_time(pred.phase1.t_comp),
+         "intranode": format_time(pred.phase1.t_intra),
+         "internode": format_time(pred.phase1.t_inter),
+         "total(sum)": format_time(pred.phase1.total("sum"))},
+        {"phase": "2 (sort+accumulate)",
+         "compute": format_time(pred.phase2.t_comp),
+         "intranode": format_time(pred.phase2.t_intra),
+         "internode": format_time(pred.phase2.t_inter),
+         "total(sum)": format_time(pred.phase2.total("sum"))},
+    ]
+    print_table(rows, title=f"Analytical model: {spec.display} @ {args.nodes} nodes")
+    print(f"T_total (sum model): {format_time(pred.t_total('sum'))}")
+    print(f"T_total (max model): {format_time(pred.t_total('max'))}")
+    shares = pred.breakdown()
+    print("Breakdown: " + ", ".join(f"{k} {100 * v:.1f}%" for k, v in shares.items()))
+    roof = roofline_point(spec.n_reads, spec.read_len, args.k, machine)
+    print(
+        f"Operational intensity: {roof.intensity:.3f} iadd64/B "
+        f"(machine balance {roof.machine_balance:.2f}) -> {roof.bound}-bound"
+    )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .bench.experiments import list_experiments, run_experiment
+
+    if args.experiment == "list":
+        for exp in list_experiments():
+            print(exp)
+        return 0
+    exp_ids = list_experiments() if args.experiment == "all" else [args.experiment]
+    kwargs = {"seed": args.seed}
+    if args.budget is not None:
+        kwargs["budget"] = args.budget
+    results = []
+    for exp_id in exp_ids:
+        result = run_experiment(exp_id, **kwargs)
+        results.append(result)
+        print(result.render())
+    if args.report:
+        from .bench.report import write_report
+
+        out = write_report(args.report, results=results)
+        print(f"# wrote markdown report to {out}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .seq.datasets import materialize
+    from .seq.fastx import write_fastq
+    from .seq.readsim import reads_to_records
+
+    w = materialize(args.dataset, fidelity=args.fidelity, seed=args.seed)
+    n = write_fastq(args.output, reads_to_records(w.reads))
+    print(f"wrote {n} reads ({w.read_len} bp, genome {w.genome_len} b) to {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "count": _cmd_count,
+    "datasets": _cmd_datasets,
+    "model": _cmd_model,
+    "bench": _cmd_bench,
+    "simulate": _cmd_simulate,
+    "analyze": _cmd_analyze,
+    "compare": _cmd_compare,
+    "timeline": _cmd_timeline,
+    "calibrate": _cmd_calibrate,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (KeyError, ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

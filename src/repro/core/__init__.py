@@ -1,0 +1,44 @@
+"""Core algorithms: serial (Alg. 1), BSP (Alg. 2), DAKC (Algs. 3-4).
+
+Extensions beyond the paper's evaluation (its Section VII future work):
+128-bit k-mers (:mod:`repro.core.bigcount`) and the barrier-free
+sorted-set variant (:mod:`repro.core.sortedset`).
+"""
+
+from .bigcount import BigKmerCounts, dakc_count_big, owner_pe_big, serial_count_big
+from .bsp import BspConfig, bsp_count
+from .dakc import DakcConfig, DeliveryIntegrityError, dakc_count
+from .minipart import MinimizerPartitionConfig, minimizer_partitioned_count
+from .l2l3 import AggregationConfig, BulkAggregator, ExactAggregator, receive_service_time
+from .owner import owner_pe, owner_pe_scalar, partition_by_owner, splitmix64
+from .result import KmerCounts
+from .serial import SerialRunInfo, serial_count, serial_count_oracle
+from .sortedset import SortedRunSet, dakc_overlap_count
+
+__all__ = [
+    "KmerCounts",
+    "serial_count",
+    "serial_count_oracle",
+    "SerialRunInfo",
+    "BspConfig",
+    "bsp_count",
+    "DakcConfig",
+    "dakc_count",
+    "DeliveryIntegrityError",
+    "AggregationConfig",
+    "BulkAggregator",
+    "ExactAggregator",
+    "receive_service_time",
+    "owner_pe",
+    "owner_pe_scalar",
+    "partition_by_owner",
+    "splitmix64",
+    "BigKmerCounts",
+    "serial_count_big",
+    "dakc_count_big",
+    "owner_pe_big",
+    "SortedRunSet",
+    "dakc_overlap_count",
+    "MinimizerPartitionConfig",
+    "minimizer_partitioned_count",
+]

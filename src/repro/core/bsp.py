@@ -1,0 +1,270 @@
+"""Algorithm 2: the BSP (bulk-synchronous) k-mer counter baseline.
+
+This is the communication structure of PakMan's KC kernel (blocking
+Many-To-Many collectives, batches of ``b`` k-mers) and — with
+non-blocking collectives and hybrid ranks — of HySortK.  Per superstep
+every PE:
+
+1. parses its next batch of ``b`` k-mers,
+2. buckets them by owner PE (``OwnerPE``),
+3. exchanges the buckets with a Many-To-Many collective,
+4. appends the received k-mers to its local array ``T_r``.
+
+After the final superstep each PE sorts and accumulates ``T_r``.  The
+number of global synchronisations grows as ``ceil(mn / bP)`` — the
+quantity DAKC collapses to one inter-phase barrier (Eqs. 1, 5-7).
+
+Variants (all measured in the paper's evaluation):
+
+* ``blocking=True`` — PakMan/PakMan*: every PE waits for the slowest
+  exchange each round, so skew is paid per superstep;
+* ``blocking=False`` — HySortK-style: the exchange overlaps the next
+  batch's parsing (``max(compute, comm)`` instead of the sum);
+* ``sort="radix"`` vs ``sort="quicksort"`` — PakMan* vs original
+  PakMan (Fig. 6: the radix swap alone is ~2x);
+* ``preaccumulate=True`` — locally accumulate each send bucket into
+  ``{kmer, count}`` pairs before the exchange (the literal
+  ``Accumulate(T_s[i])`` of Algorithm 2's ``FlushBuffer``), trading
+  compute for communication volume on skewed inputs.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..runtime.cache import CacheAccounting
+from ..runtime.collectives import alltoallv, barrier
+from ..runtime.cost import OPS_PER_ELEMENT_BUFFER, CostModel
+from ..runtime.machine import MachineConfig
+from ..runtime.memory import MemoryTracker
+from ..runtime.stats import RunStats
+from ..seq.kmers import canonical_kmers, extract_kmers_from_reads, kmer_width_bits
+from ..sort.accumulate import accumulate_sorted, accumulate_weighted, merge_count_arrays
+from ..sort.radix import effective_msd_passes, radix_sort
+from .owner import owner_pe
+from .result import KmerCounts
+
+__all__ = ["BspConfig", "bsp_count"]
+
+#: Comparison-sort op constant: INT64-op equivalents per element per
+#: log2(n) level.  A compare + swap + ~50% mispredicted branch costs
+#: roughly six issue slots — the constant-factor gap that makes radix
+#: sorting worth Fig. 6's ~2x on uint64 keys.
+QUICKSORT_OPS_PER_LEVEL: float = 6.0
+
+
+@dataclass(frozen=True, slots=True)
+class BspConfig:
+    """Tunables of the BSP baseline."""
+
+    batch_size: int | None = None  # b; None = one superstep (max batch)
+    blocking: bool = True
+    sort: str = "radix"  # "radix" | "quicksort"
+    preaccumulate: bool = False
+    canonical: bool = False
+    use_real_radix: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.sort not in ("radix", "quicksort"):
+            raise ValueError(f"unknown sort {self.sort!r}")
+
+
+def _charge_sort(
+    cost: CostModel, pe_stats, n: int, k: int, sort: str, cache: CacheAccounting
+) -> None:
+    """Charge Phase-2 sorting costs for *n* elements on one PE."""
+    if n == 0:
+        return
+    if sort == "radix":
+        worst = max(1, kmer_width_bits(k) // 8)
+        passes = effective_msd_passes(n, worst)
+        cost.charge_compute(pe_stats, n * passes + 2 * n)
+        cost.charge_mem(pe_stats, 2 * n * 8 * passes + 2 * n * 8)
+        for _ in range(passes + 1):
+            cache.stream(n * 8)
+    else:
+        levels = max(1.0, math.log2(max(2, n)))
+        cost.charge_compute(pe_stats, int(QUICKSORT_OPS_PER_LEVEL * n * levels))
+        # Partitioning sweeps the data once per level until partitions
+        # fit in cache, then it is cache resident.
+        elems_in_cache = max(2, cost.machine.cache_bytes // 8)
+        deep = max(1.0, math.log2(max(2.0, n / elems_in_cache)) + 1.0)
+        cost.charge_mem(pe_stats, int(2 * n * 8 * deep))
+        for _ in range(int(deep)):
+            cache.stream(2 * n * 8)
+
+
+def bsp_count(
+    reads: np.ndarray | list,
+    k: int,
+    cost: CostModel | MachineConfig,
+    config: BspConfig | None = None,
+) -> tuple[KmerCounts, RunStats]:
+    """Count k-mers with the BSP baseline on the simulated machine.
+
+    Same contract as :func:`repro.core.dakc.dakc_count`.
+    """
+    if isinstance(cost, MachineConfig):
+        cost = CostModel(cost)
+    config = config or BspConfig()
+    host_t0 = time.perf_counter()
+    n_pes = cost.n_pes
+    stats = RunStats(n_pes=n_pes)
+    memory = MemoryTracker(n_pes)
+
+    # Local k-mer streams (parse is interleaved with supersteps below;
+    # extraction is hoisted for vectorisation but *charged* per batch).
+    if isinstance(reads, np.ndarray) and reads.ndim == 2:
+        per_pe_rows = np.array_split(reads, n_pes)
+    else:
+        per_pe_rows = [[] for _ in range(n_pes)]
+        for i, r in enumerate(reads):
+            per_pe_rows[i * n_pes // max(1, len(reads))].append(r)
+    streams: list[np.ndarray] = []
+    read_bytes: list[int] = []
+    for rows in per_pe_rows:
+        kmers = extract_kmers_from_reads(rows, k)
+        if config.canonical and kmers.size:
+            kmers = canonical_kmers(kmers, k)
+        streams.append(kmers)
+        if isinstance(rows, np.ndarray):
+            read_bytes.append(int(rows.size))
+        else:
+            read_bytes.append(sum(int(np.asarray(r).size) for r in rows))
+
+    local_total = max((s.size for s in streams), default=0)
+    b = config.batch_size if config.batch_size is not None else max(1, local_total)
+    n_supersteps = max(1, -(-local_total // b)) if local_total else 1
+
+    barrier(cost, stats)  # everyone enters the kernel
+
+    # Received data per PE, accumulated across supersteps.
+    recv_plain: list[list[np.ndarray]] = [[] for _ in range(n_pes)]
+    recv_pairs: list[list[tuple[np.ndarray, np.ndarray]]] = [[] for _ in range(n_pes)]
+    elem_bytes = 16 if config.preaccumulate else 8
+
+    # Non-blocking mode (HySortK): exchanges are initiated with
+    # ialltoallv and consumed lazily — the parse of superstep i+1
+    # overlaps the wire time of exchange i; receive appends are
+    # charged when the data is finally waited on.
+    pending_completion = np.zeros(n_pes, dtype=np.float64)
+    deferred_recv_bytes = np.zeros(n_pes, dtype=np.int64)
+
+    for step in range(n_supersteps):
+        send_bytes = np.zeros((n_pes, n_pes), dtype=np.int64)
+        outgoing: list[list] = [[None] * n_pes for _ in range(n_pes)]
+        for src in range(n_pes):
+            pe_stats = stats.pe[src]
+            lo = min(step * b, streams[src].size)
+            hi = min((step + 1) * b, streams[src].size)
+            batch = streams[src][lo:hi]
+            if batch.size == 0:
+                continue
+            # Charge the parse of this batch (Eq. 9 + read traffic).
+            frac = (hi - lo) / max(1, streams[src].size)
+            cost.charge_compute(pe_stats, batch.size)
+            cost.charge_mem(pe_stats, int(read_bytes[src] * frac))
+            cost.charge_compute(pe_stats, batch.size * OPS_PER_ELEMENT_BUFFER)
+            cost.charge_mem(pe_stats, batch.nbytes)  # bucket writes
+            cache = CacheAccounting(cost.machine.cache_bytes, cost.machine.line_bytes)
+            cache.stream(int(read_bytes[src] * frac))
+            cache.stream(batch.nbytes)
+            pe_stats.cache_misses_p1 += cache.misses
+            pe_stats.kmers_generated += int(batch.size)
+            owners = owner_pe(batch, n_pes)
+            order = np.argsort(owners, kind="stable")
+            sorted_batch = batch[order]
+            counts = np.bincount(owners, minlength=n_pes)
+            bounds = np.zeros(n_pes + 1, dtype=np.int64)
+            np.cumsum(counts, out=bounds[1:])
+            for dst in np.flatnonzero(counts):
+                bucket = sorted_batch[bounds[dst] : bounds[dst + 1]]
+                if config.preaccumulate:
+                    u, c = accumulate_sorted(np.sort(bucket))
+                    cost.charge_compute(pe_stats, bucket.size * 2)
+                    outgoing[src][dst] = (u, c)
+                    send_bytes[src, dst] = u.size * elem_bytes
+                else:
+                    outgoing[src][dst] = bucket
+                    send_bytes[src, dst] = bucket.size * elem_bytes
+            memory.set_category(src, "send-batch", int(send_bytes[src].sum()))
+
+        completion = alltoallv(cost, stats, send_bytes, blocking=config.blocking)
+        np.maximum(pending_completion, completion, out=pending_completion)
+
+        for dst in range(n_pes):
+            pe_stats = stats.pe[dst]
+            got = 0
+            for src in range(n_pes):
+                payload = outgoing[src][dst]
+                if payload is None:
+                    continue
+                if config.preaccumulate:
+                    recv_pairs[dst].append(payload)
+                    got += payload[0].size * elem_bytes
+                else:
+                    recv_plain[dst].append(payload)
+                    got += payload.size * elem_bytes
+            if got:
+                pe_stats.elements_received += got // elem_bytes
+                pe_stats.kmers_received += got // elem_bytes
+                if config.blocking:
+                    cost.charge_mem(pe_stats, got)  # append to T_r
+                else:
+                    deferred_recv_bytes[dst] += got
+            memory.set_category(dst, "send-batch", 0)
+            memory.allocate(dst, "recv-T", got)
+
+    if not config.blocking:
+        # waitall: every PE blocks until its outstanding exchanges have
+        # landed, then pays the deferred T_r appends.
+        for dst in range(n_pes):
+            pe_stats = stats.pe[dst]
+            if pending_completion[dst] > pe_stats.clock:
+                pe_stats.sync_wait_time += pending_completion[dst] - pe_stats.clock
+                pe_stats.clock = float(pending_completion[dst])
+            if deferred_recv_bytes[dst]:
+                cost.charge_mem(pe_stats, int(deferred_recv_bytes[dst]))
+
+    stats.phase1_time = max(p.clock for p in stats.pe)
+
+    # Phase 2: sort + accumulate the received arrays.
+    results = []
+    for dst in range(n_pes):
+        pe_stats = stats.pe[dst]
+        cache = CacheAccounting(cost.machine.cache_bytes, cost.machine.line_bytes)
+        if config.preaccumulate:
+            ks = np.concatenate([p[0] for p in recv_pairs[dst]]) if recv_pairs[dst] else np.empty(0, np.uint64)
+            cs = np.concatenate([p[1] for p in recv_pairs[dst]]) if recv_pairs[dst] else np.empty(0, np.int64)
+            _charge_sort(cost, pe_stats, int(ks.size), k, config.sort, cache)
+            uniq, counts = accumulate_weighted(ks, cs)
+        else:
+            t_arr = (
+                np.concatenate(recv_plain[dst]) if recv_plain[dst] else np.empty(0, np.uint64)
+            )
+            _charge_sort(cost, pe_stats, int(t_arr.size), k, config.sort, cache)
+            if config.use_real_radix and config.sort == "radix":
+                sorted_t = radix_sort(t_arr, key_bits=2 * k)
+            else:
+                sorted_t = np.sort(t_arr)
+            uniq, counts = accumulate_sorted(sorted_t)
+        pe_stats.cache_misses_p2 += cache.misses
+        results.append((uniq, counts))
+
+    barrier(cost, stats)  # final sync
+    stats.sim_time = stats.max_clock
+    stats.phase2_time = stats.sim_time - stats.phase1_time
+    stats.peak_buffer_bytes_per_pe = memory.peak_any_pe()
+    stats.extra["supersteps"] = n_supersteps
+    stats.extra["blocking"] = config.blocking
+    stats.extra["sort"] = config.sort
+
+    uniq, counts = merge_count_arrays(results)
+    stats.host_seconds = time.perf_counter() - host_t0
+    return KmerCounts(k, uniq, counts), stats

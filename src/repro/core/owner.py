@@ -1,0 +1,73 @@
+"""OwnerPE: deterministic k-mer -> processor partitioning.
+
+Every distributed counter in the paper assigns each distinct k-mer to
+an *owner* PE responsible for its final count (Section III-B, rule 1).
+The assignment must be a pure function of the k-mer value so every
+source routes a given k-mer to the same place; production counters use
+a scrambling hash so that correlated k-mers (e.g. the lexicographic
+neighbourhood of a repeat) spread across PEs.
+
+We use splitmix64 — a well-known, statistically strong 64-bit mixer —
+vectorised over NumPy ``uint64`` arrays, followed by a modulo over P.
+Note that hashing spreads *distinct* k-mers but cannot spread the
+*occurrences* of a single heavy-hitter k-mer: all of them land on one
+owner.  That residual imbalance is precisely what the L3 protocol
+attacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["splitmix64", "owner_pe", "owner_pe_scalar", "partition_by_owner"]
+
+_C1 = np.uint64(0x9E3779B97F4A7C15)
+_C2 = np.uint64(0xBF58476D1CE4E5B9)
+_C3 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(x: np.ndarray | int) -> np.ndarray | int:
+    """Vectorised splitmix64 finaliser (bijective 64-bit mixer)."""
+    scalar = np.isscalar(x) or isinstance(x, (int, np.integer))
+    z = np.asarray(x, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        z = z + _C1
+        z = (z ^ (z >> np.uint64(30))) * _C2
+        z = (z ^ (z >> np.uint64(27))) * _C3
+        z = z ^ (z >> np.uint64(31))
+    return int(z) if scalar else z
+
+
+def owner_pe(kmers: np.ndarray, p: int) -> np.ndarray:
+    """Owner PE of each k-mer: ``splitmix64(kmer) mod P`` (int64)."""
+    if p < 1:
+        raise ValueError("P must be >= 1")
+    hashed = splitmix64(np.asarray(kmers, dtype=np.uint64))
+    return (hashed % np.uint64(p)).astype(np.int64)
+
+
+def owner_pe_scalar(kmer: int, p: int) -> int:
+    """Scalar reference of :func:`owner_pe` (Algorithm 2's OwnerPE)."""
+    if p < 1:
+        raise ValueError("P must be >= 1")
+    return int(splitmix64(int(kmer)) % p)
+
+
+def partition_by_owner(
+    kmers: np.ndarray, p: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group a k-mer array by owner PE (vectorised bucket split).
+
+    Returns ``(sorted_kmers, owners_sorted, boundaries)`` where
+    ``sorted_kmers`` is the input permuted so owners are contiguous and
+    ``boundaries`` has ``p + 1`` entries such that PE ``q`` owns slice
+    ``sorted_kmers[boundaries[q]:boundaries[q+1]]``.
+    """
+    kmers = np.asarray(kmers, dtype=np.uint64)
+    owners = owner_pe(kmers, p)
+    order = np.argsort(owners, kind="stable")
+    owners_sorted = owners[order]
+    counts = np.bincount(owners_sorted, minlength=p)
+    boundaries = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(counts, out=boundaries[1:])
+    return kmers[order], owners_sorted, boundaries

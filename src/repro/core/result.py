@@ -1,0 +1,143 @@
+"""Result type of every counter: the ordered (k-mer, count) array.
+
+All four algorithms in the paper return ``C``, an "Ordered array of
+{k-mer, count}".  :class:`KmerCounts` is that array plus the quality-
+of-life surface a downstream pipeline needs (lookups, spectra, count
+filtering, multiset equality for validation).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sort.accumulate import counts_to_histogram
+
+__all__ = ["KmerCounts"]
+
+
+@dataclass(frozen=True)
+class KmerCounts:
+    """Ordered array of ``{k-mer, count}`` pairs.
+
+    Invariants (checked at construction): ``kmers`` strictly
+    increasing; ``counts`` positive; equal lengths.
+    """
+
+    k: int
+    kmers: np.ndarray  # uint64, strictly increasing
+    counts: np.ndarray  # int64, all >= 1
+
+    def __post_init__(self) -> None:
+        kmers = np.ascontiguousarray(self.kmers, dtype=np.uint64)
+        counts = np.ascontiguousarray(self.counts, dtype=np.int64)
+        object.__setattr__(self, "kmers", kmers)
+        object.__setattr__(self, "counts", counts)
+        if kmers.shape != counts.shape or kmers.ndim != 1:
+            raise ValueError("kmers and counts must be 1-D arrays of equal length")
+        if kmers.size > 1 and not (kmers[:-1] < kmers[1:]).all():
+            raise ValueError("kmers must be strictly increasing (ordered, unique)")
+        if counts.size and counts.min() < 1:
+            raise ValueError("all counts must be >= 1")
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def empty(cls, k: int) -> "KmerCounts":
+        return cls(k, np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def from_pairs(cls, k: int, kmers: np.ndarray, counts: np.ndarray) -> "KmerCounts":
+        """Build from unordered, possibly duplicated pairs (summing)."""
+        from ..sort.accumulate import accumulate_weighted
+
+        u, c = accumulate_weighted(np.asarray(kmers), np.asarray(counts))
+        return cls(k, u, c)
+
+    @classmethod
+    def from_counter(cls, k: int, counter: Counter) -> "KmerCounts":
+        """Build from a ``collections.Counter`` oracle."""
+        if not counter:
+            return cls.empty(k)
+        keys = np.fromiter(counter.keys(), dtype=np.uint64, count=len(counter))
+        vals = np.fromiter(counter.values(), dtype=np.int64, count=len(counter))
+        order = np.argsort(keys)
+        return cls(k, keys[order], vals[order])
+
+    # -- basic queries -------------------------------------------------
+
+    @property
+    def n_distinct(self) -> int:
+        """Number of distinct k-mers."""
+        return int(self.kmers.size)
+
+    @property
+    def total(self) -> int:
+        """Total k-mer occurrences (sum of counts)."""
+        return int(self.counts.sum()) if self.counts.size else 0
+
+    @property
+    def max_count(self) -> int:
+        return int(self.counts.max()) if self.counts.size else 0
+
+    def get(self, kmer: int, default: int = 0) -> int:
+        """Count of one k-mer (binary search; 0 if absent)."""
+        i = int(np.searchsorted(self.kmers, np.uint64(kmer)))
+        if i < self.kmers.size and self.kmers[i] == np.uint64(kmer):
+            return int(self.counts[i])
+        return default
+
+    def __len__(self) -> int:
+        return self.n_distinct
+
+    def __contains__(self, kmer: int) -> bool:
+        return self.get(int(kmer), 0) > 0
+
+    # -- transforms ------------------------------------------------------
+
+    def filter_min_count(self, min_count: int) -> "KmerCounts":
+        """Drop k-mers below *min_count* (e.g. error filtering at 2)."""
+        mask = self.counts >= min_count
+        return KmerCounts(self.k, self.kmers[mask], self.counts[mask])
+
+    def spectrum(self, max_count: int | None = None) -> np.ndarray:
+        """k-mer spectrum: ``spectrum[c]`` distinct k-mers with count c."""
+        return counts_to_histogram(self.counts, max_count=max_count)
+
+    def heavy_hitters(self, threshold: int) -> "KmerCounts":
+        """k-mers with count strictly above *threshold*."""
+        mask = self.counts > threshold
+        return KmerCounts(self.k, self.kmers[mask], self.counts[mask])
+
+    def to_counter(self) -> Counter:
+        """Materialise as a ``collections.Counter`` (tests/oracles)."""
+        return Counter(dict(zip(self.kmers.tolist(), self.counts.tolist())))
+
+    # -- comparison ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KmerCounts):
+            return NotImplemented
+        return (
+            self.k == other.k
+            and np.array_equal(self.kmers, other.kmers)
+            and np.array_equal(self.counts, other.counts)
+        )
+
+    def __hash__(self) -> int:  # frozen dataclass wants it; cheap digest
+        return hash((self.k, self.n_distinct, self.total))
+
+    def diff(self, other: "KmerCounts", limit: int = 5) -> list[str]:
+        """Human-readable differences against another result (tests)."""
+        msgs: list[str] = []
+        if self.k != other.k:
+            msgs.append(f"k differs: {self.k} vs {other.k}")
+            return msgs
+        mine, theirs = self.to_counter(), other.to_counter()
+        for key in list((mine - theirs) + (theirs - mine))[:limit]:
+            msgs.append(
+                f"kmer {key:#x}: counts {mine.get(key, 0)} vs {theirs.get(key, 0)}"
+            )
+        return msgs

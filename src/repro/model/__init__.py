@@ -1,0 +1,61 @@
+"""Analytical model of Section V plus footprint/roofline analyses."""
+
+from .analytical import ModelPrediction, PhaseModel, cache_miss_model, predict
+from .gpu import A100, H100, Accelerator, GpuProjection, project_speedup
+from .footprints import (
+    DAKC_RESIDENCY,
+    HYSORTK_MAX_KMERS,
+    HYSORTK_RESIDENCY,
+    PAKMAN_RESIDENCY,
+    check_fits,
+    footprint_bytes_per_node,
+)
+from .params import (
+    DEFAULT_C1,
+    DEFAULT_C2,
+    DEFAULT_C3,
+    HEAVY_THRESHOLD,
+    Table4Params,
+    table4_params,
+    table4_rows,
+)
+from .roofline import (
+    H100_BALANCE,
+    RooflinePoint,
+    hardware_balance,
+    operational_intensity,
+    roofline_point,
+)
+from .validation import ValidationRow, validate_workload
+
+__all__ = [
+    "predict",
+    "ModelPrediction",
+    "PhaseModel",
+    "cache_miss_model",
+    "check_fits",
+    "footprint_bytes_per_node",
+    "DAKC_RESIDENCY",
+    "PAKMAN_RESIDENCY",
+    "HYSORTK_RESIDENCY",
+    "HYSORTK_MAX_KMERS",
+    "DEFAULT_C1",
+    "DEFAULT_C2",
+    "DEFAULT_C3",
+    "HEAVY_THRESHOLD",
+    "Table4Params",
+    "table4_params",
+    "table4_rows",
+    "operational_intensity",
+    "hardware_balance",
+    "roofline_point",
+    "RooflinePoint",
+    "H100_BALANCE",
+    "ValidationRow",
+    "validate_workload",
+    "Accelerator",
+    "GpuProjection",
+    "project_speedup",
+    "H100",
+    "A100",
+]

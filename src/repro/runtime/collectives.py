@@ -1,0 +1,173 @@
+"""BSP collective operations on the simulated machine.
+
+The baselines (PakMan*, HySortK) communicate through Many-To-Many MPI
+collectives (Algorithm 2's ``ManyToManyCollective``).  This module
+models them with the paper's costs:
+
+* :func:`barrier` — tree reduction, ``tau * log2(P)`` (Eq. 3), plus the
+  *skew wait*: every PE first idles until the slowest PE arrives.  The
+  wait is recorded per PE (``sync_wait_time``) because it is the
+  quantity DAKC's asynchrony eliminates ("each round of synchronization
+  causes CPU cycle waste, due to inherently skewed distribution of
+  k-mers", Section III-C).
+* :func:`alltoallv` — the Many-To-Many exchange: all PEs synchronise,
+  then each pays NIC time for its off-node traffic and memory-copy time
+  for its on-node traffic, plus the ``tau log P`` startup.  The
+  *blocking* variant (PakMan) returns after the exchange completes
+  everywhere; the *non-blocking* variant (HySortK) returns each PE's
+  own completion so callers can overlap the next batch's compute
+  (``max(compute, comm)`` instead of the sum).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .cost import CostModel
+from .stats import RunStats
+
+__all__ = [
+    "barrier",
+    "alltoallv",
+    "exchange_matrix_bytes",
+    "ALLTOALL_BW_EFFICIENCY",
+    "MSG_OVERHEAD_TAU_FRACTION",
+]
+
+#: Effective fraction of peak NIC bandwidth a Many-To-Many collective
+#: achieves.  Large alltoallv exchanges suffer incast congestion and
+#: synchronization stalls; 40-60% of peak is the commonly measured
+#: range on fat-tree/dragonfly fabrics.  DAKC's streamed one-sided
+#: PUTs pipeline at near-peak bandwidth (the paper's model validation
+#: shows DAKC "near optimal on our target machine"), which is a large
+#: part of its measured 2.3-2.8x advantage over the BSP baselines.
+ALLTOALL_BW_EFFICIENCY: float = 0.45
+
+#: Per-destination CPU/rendezvous overhead of one collective message
+#: (LogGP's `o`), expressed as a fraction of the machine's wire
+#: latency tau (~1 us at the default tau of 2 us — typical for MPI
+#: rendezvous-path messages).  Tying it to tau keeps the overhead
+#: consistent under the harness's time-scaling.  This is what makes
+#: rank-per-core (MPI-only PakMan) alltoallv painful at high rank
+#: counts with small per-pair payloads.
+MSG_OVERHEAD_TAU_FRACTION: float = 0.5
+
+
+def barrier(cost: CostModel, stats: RunStats) -> float:
+    """Global barrier; returns the post-barrier common clock."""
+    t_max = max(p.clock for p in stats.pe)
+    t_after = t_max + cost.barrier_time
+    for p in stats.pe:
+        if cost.tracer is not None:
+            if t_max > p.clock:
+                cost.tracer.record(p.pe, p.clock, t_max, "wait")
+            cost.tracer.record(p.pe, t_max, t_after, "barrier")
+        p.sync_wait_time += t_max - p.clock
+        p.clock = t_after
+        p.barriers += 1
+    stats.global_syncs += 1
+    return t_after
+
+
+def exchange_matrix_bytes(
+    cost: CostModel, send_bytes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split a PxP send-bytes matrix into on/off-node per-PE totals.
+
+    Returns ``(send_off, send_on, recv_off, recv_on)`` vectors.  Used
+    by :func:`alltoallv` and reusable by footprint models.
+    """
+    p = cost.n_pes
+    if send_bytes.shape != (p, p):
+        raise ValueError(f"send matrix must be {p}x{p}")
+    nodes = np.arange(p) // cost.pes_per_node
+    same_node = nodes[:, None] == nodes[None, :]
+    on = np.where(same_node, send_bytes, 0)
+    off = np.where(same_node, 0, send_bytes)
+    return (
+        off.sum(axis=1),
+        on.sum(axis=1),
+        off.sum(axis=0),
+        on.sum(axis=0),
+    )
+
+
+def alltoallv(
+    cost: CostModel,
+    stats: RunStats,
+    send_bytes: np.ndarray,
+    *,
+    blocking: bool = True,
+) -> np.ndarray:
+    """Perform one Many-To-Many collective over a PxP byte matrix.
+
+    ``send_bytes[i, j]`` is the payload PE ``i`` ships to PE ``j``.
+
+    With ``blocking=True`` (MPI alltoallv) all PEs synchronise at
+    entry, pay their transfer costs, and advance together to the
+    global completion — the slowest PE gates every round, which is how
+    skew taxes the BSP baselines per superstep.
+
+    With ``blocking=False`` (MPI ialltoallv) there is no entry
+    synchronisation and **clocks are not advanced**: each PE initiates
+    at its own clock and the returned per-PE completion times tell the
+    caller when the data lands, so subsequent compute can overlap the
+    exchange (HySortK's non-blocking strategy).  The caller must clamp
+    clocks to the completions before consuming the received data.
+    """
+    p = cost.n_pes
+    send_bytes = np.asarray(send_bytes, dtype=np.float64)
+    if blocking:
+        t_enter = max(pe.clock for pe in stats.pe)
+        for pe in stats.pe:
+            pe.sync_wait_time += t_enter - pe.clock
+            pe.collectives += 1
+    else:
+        for pe in stats.pe:
+            pe.collectives += 1
+    stats.global_syncs += 1
+
+    send_off, send_on, recv_off, recv_on = exchange_matrix_bytes(cost, send_bytes)
+    # Cost per PE: tau*log(P) startup (Eq. 3), per-destination message
+    # overheads (LogGP `o`), off-node traffic at the collective's
+    # *effective* bandwidth, on-node traffic at memory bandwidth.
+    logp = math.log2(max(2, p))
+    startup = cost.machine.tau * logp
+    eff_bw = cost.pe_link_bw * ALLTOALL_BW_EFFICIENCY
+    n_dests = (send_bytes > 0).sum(axis=1)
+    completion = np.empty(p, dtype=np.float64)
+    if not blocking:
+        # A receiver's exchange cannot land before its senders have
+        # initiated: start from the latest contributing sender.
+        clocks = np.array([pe.clock for pe in stats.pe])
+        has_traffic = send_bytes > 0
+        sender_gate = np.where(has_traffic, clocks[:, None], 0.0).max(axis=0)
+    for i, pe in enumerate(stats.pe):
+        if blocking:
+            start = t_enter
+        else:
+            start = max(pe.clock, float(sender_gate[i]))
+        wire = (send_off[i] + recv_off[i]) / eff_bw
+        # Intranode MPI goes through a shared-memory staging buffer:
+        # two copies (send buffer -> shm -> receive buffer).  DAKC's
+        # runtime short-circuits co-located sends to a single memcpy —
+        # the single-node advantage of Section VI-B.
+        local = 2 * (send_on[i] + recv_on[i]) / cost.pe_mem_bw
+        overhead = MSG_OVERHEAD_TAU_FRACTION * cost.machine.tau * float(n_dests[i])
+        completion[i] = start + startup + overhead + wire + local
+        pe.bytes_sent += int(send_off[i])
+        pe.local_memcpy_bytes += int(send_on[i])
+        pe.puts_issued += int(np.count_nonzero(send_bytes[i]))
+        pe.mem_bytes += int(send_on[i] + recv_on[i])
+
+    if blocking:
+        t_done = float(completion.max())
+        for pe in stats.pe:
+            pe.sync_wait_time += t_done - pe.clock if t_done > pe.clock else 0.0
+            pe.clock = t_done
+        return np.full(p, t_done)
+    # Non-blocking: clocks untouched; the exchange proceeds in the
+    # background and lands at `completion`.
+    return completion

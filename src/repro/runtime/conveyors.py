@@ -1,0 +1,238 @@
+"""The L0/L1 message-aggregation engine (Conveyors + HClib staging).
+
+Re-implements the behaviour of the Conveyors library (Maley &
+DeVinney) and the HClib-Actor staging layer on the simulated machine:
+
+* every PE keeps one send buffer per *next hop* of the virtual
+  topology (1D: per destination; 2D/3D: per row/column neighbour);
+* application payloads arrive as :class:`PacketGroup`\\ s — one group
+  represents ``n_packets`` consecutive wire packets to the same final
+  destination (the exact path injects single-packet groups; the
+  vectorised path injects one group per flushed L2 buffer);
+* groups stage through the L1 layer (``C1`` packets per destination,
+  charged as a memcpy into the conveyor buffer when it fills — the
+  HClib-Actor behaviour of Section IV-B), then into the L0 buffer
+  (``C0`` bytes); a full L0 buffer triggers an RDMA PUT to the next
+  hop (charged latency + bandwidth, or a memcpy when co-located);
+* 2D/3D packets carry a 32-bit final-destination header
+  (:data:`~repro.runtime.topology.HEADER_BYTES`); relays store and
+  forward, re-aggregating toward the final destination;
+* receivers drain lazily: delivered groups carry their arrival time,
+  and the algorithm charges receive processing through the cost
+  model's busy-period queue at the phase boundary.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cost import OPS_PER_PACKET, CostModel
+from .memory import L0_BUFFER_BYTES, MemoryTracker
+from .stats import RunStats
+from .topology import HEADER_BYTES, Topology
+
+__all__ = ["PacketGroup", "Conveyor"]
+
+
+@dataclass(slots=True)
+class PacketGroup:
+    """A run of wire packets sharing source, destination and kind.
+
+    ``kmers``/``counts`` carry the semantic payload; ``n_packets`` and
+    ``payload_bytes`` describe how the run appears on the wire (the L2
+    layer decides the packing).  HEAVY groups carry explicit counts;
+    NORMAL groups carry occurrences (implicit count 1 per element).
+    """
+
+    src: int
+    dst: int
+    kind: str  # "NORMAL" | "HEAVY"
+    kmers: np.ndarray
+    counts: np.ndarray | None
+    n_packets: int
+    payload_bytes: int
+
+    @property
+    def n_elements(self) -> int:
+        return int(self.kmers.size)
+
+
+@dataclass(slots=True)
+class _HopBuffer:
+    """Send-side staging for one (PE, next hop) pair: L1 + L0."""
+
+    groups: list = field(default_factory=list)
+    bytes: int = 0
+    packets_pending_l1: int = 0
+
+
+class Conveyor:
+    """Simulated Conveyors engine over a virtual topology."""
+
+    def __init__(
+        self,
+        cost: CostModel,
+        stats: RunStats,
+        topology: Topology,
+        memory: MemoryTracker | None = None,
+        *,
+        c0_bytes: int = L0_BUFFER_BYTES,
+        c1_packets: int = 1024,
+    ) -> None:
+        if topology.p != cost.n_pes:
+            raise ValueError(
+                f"topology size {topology.p} != machine PEs {cost.n_pes}"
+            )
+        if c0_bytes < 8:
+            raise ValueError("c0_bytes must hold at least one element")
+        if c1_packets < 1:
+            raise ValueError("c1_packets must be >= 1")
+        self.cost = cost
+        self.stats = stats
+        self.topology = topology
+        self.memory = memory
+        self.c0_bytes = c0_bytes
+        self.c1_packets = c1_packets
+        self._buffers: list[dict[int, _HopBuffer]] = [dict() for _ in range(cost.n_pes)]
+        self._staged_bytes: list[int] = [0] * cost.n_pes
+        #: In-flight messages: (arrival_time, hop_pe, [groups]).
+        self._in_flight: list[tuple[float, int, list[PacketGroup]]] = []
+        #: Delivered groups per destination: (arrival_time, group).
+        self.delivered: list[list[tuple[float, PacketGroup]]] = [
+            [] for _ in range(cost.n_pes)
+        ]
+
+    # -- injection ----------------------------------------------------
+
+    def group_wire_bytes(self, group: PacketGroup) -> int:
+        """Bytes this group occupies on the wire, headers included."""
+        if self.topology.needs_header:
+            return group.payload_bytes + group.n_packets * HEADER_BYTES
+        return group.payload_bytes
+
+    def inject(self, group: PacketGroup) -> None:
+        """Inject a group at its source PE (application send)."""
+        self._enqueue(group.src, group)
+
+    def _enqueue(self, from_pe: int, group: PacketGroup) -> None:
+        route = self.topology.route(from_pe, group.dst)
+        pe_stats = self.stats.pe[from_pe]
+        if self.topology.needs_header:
+            pe_stats.header_bytes += group.n_packets * HEADER_BYTES
+        if not route:
+            # Self-send: Algorithm 4 routes every k-mer through
+            # AsyncAdd, including self-owned ones; locally this is a
+            # buffer append, delivered immediately.
+            self.delivered[from_pe].append((pe_stats.clock, group))
+            return
+        next_hop = route[0]
+        buf = self._buffers[from_pe].setdefault(next_hop, _HopBuffer())
+        buf.groups.append(group)
+        wire = self.group_wire_bytes(group)
+        buf.bytes += wire
+        buf.packets_pending_l1 += group.n_packets
+        self._staged_bytes[from_pe] += wire
+        if self.memory is not None:
+            self.memory.set_category(from_pe, "conveyor", self._staged_bytes[from_pe])
+        # L1 staging: every C1 packets are memcpy'd into the conveyor
+        # send buffer (HClib-Actor's extra buffering layer).
+        if buf.packets_pending_l1 >= self.c1_packets:
+            flushed = buf.packets_pending_l1 - buf.packets_pending_l1 % self.c1_packets
+            buf.packets_pending_l1 %= self.c1_packets
+            pe_stats.l1_flushes += flushed // self.c1_packets
+            # Charge the staging copy at memory bandwidth.
+            self.cost.charge_mem(pe_stats, min(buf.bytes, flushed * 8))
+        if buf.bytes >= self.c0_bytes:
+            self._flush_hop(from_pe, next_hop)
+
+    # -- flushing -----------------------------------------------------
+
+    def _flush_hop(self, from_pe: int, next_hop: int) -> None:
+        buf = self._buffers[from_pe].get(next_hop)
+        if buf is None or not buf.groups:
+            return
+        pe_stats = self.stats.pe[from_pe]
+        nbytes = buf.bytes
+        groups = buf.groups
+        self._buffers[from_pe][next_hop] = _HopBuffer()
+        self._staged_bytes[from_pe] -= nbytes
+        if self.memory is not None:
+            self.memory.set_category(from_pe, "conveyor", self._staged_bytes[from_pe])
+        pe_stats.l0_flushes += 1
+        arrival = self.cost.charge_put(pe_stats, next_hop, nbytes)
+        self._in_flight.append((arrival, next_hop, groups))
+
+    def flush_pe(self, pe: int) -> None:
+        """Flush every non-empty buffer of one PE (end-of-stream)."""
+        for next_hop in list(self._buffers[pe].keys()):
+            self._flush_hop(pe, next_hop)
+
+    def flush_all(self) -> None:
+        """Flush all PEs' buffers."""
+        for pe in range(self.cost.n_pes):
+            self.flush_pe(pe)
+
+    # -- delivery -----------------------------------------------------
+
+    def drain(self) -> None:
+        """Deliver all in-flight messages, relaying multi-hop traffic.
+
+        Messages are processed in arrival order; groups that have not
+        reached their final destination are re-aggregated at the relay
+        and forwarded (charging the relay's clock for the handling),
+        exactly the store-and-forward behaviour of 2D/3D Conveyors.
+        """
+        heap = [(arrival, i, hop, groups) for i, (arrival, hop, groups) in enumerate(self._in_flight)]
+        heapq.heapify(heap)
+        self._in_flight = []
+        seq = len(heap)
+        guard = 0
+        while heap or self._in_flight:
+            for arrival, hop, groups in self._in_flight:
+                heapq.heappush(heap, (arrival, seq, hop, groups))
+                seq += 1
+            self._in_flight = []
+            if not heap:
+                break
+            guard += 1
+            if guard > 10_000_000:
+                raise RuntimeError("conveyor drain did not terminate")
+            arrival, _, hop, groups = heapq.heappop(heap)
+            hop_stats = self.stats.pe[hop]
+            finals = [g for g in groups if g.dst == hop]
+            relays = [g for g in groups if g.dst != hop]
+            for g in finals:
+                self.delivered[hop].append((arrival, g))
+            if relays:
+                # Relay handling: the hop PE parses headers and
+                # re-buffers the packets toward their destinations.
+                n_pkts = sum(g.n_packets for g in relays)
+                nbytes = sum(self.group_wire_bytes(g) for g in relays)
+                hop_stats.clock = max(hop_stats.clock, arrival)
+                hop_stats.hops_forwarded += n_pkts
+                self.cost.charge_compute(hop_stats, n_pkts * OPS_PER_PACKET)
+                self.cost.charge_mem(hop_stats, nbytes)
+                for g in relays:
+                    self._enqueue(hop, g)
+                self.flush_pe(hop)
+
+    def finalize(self) -> None:
+        """Flush everything and drain until quiescent."""
+        self.flush_all()
+        self.drain()
+        # Flushing relays may have restocked buffers; repeat until
+        # nothing is staged anywhere.
+        while any(self._staged_bytes) or self._in_flight:
+            self.flush_all()
+            self.drain()
+
+    # -- inspection ---------------------------------------------------
+
+    def staged_bytes(self, pe: int) -> int:
+        return self._staged_bytes[pe]
+
+    def delivered_elements(self, pe: int) -> int:
+        return sum(g.n_elements for _, g in self.delivered[pe])

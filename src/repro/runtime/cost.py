@@ -1,0 +1,189 @@
+"""Cost model: converts measured events into virtual time.
+
+The simulated runtime executes the *real* algorithms and counts real
+events (k-mers parsed, buffer flushes, PUTs, bytes, hops).  This module
+prices those events on a :class:`~repro.runtime.machine.MachineConfig`,
+advancing per-PE virtual clocks.  The pricing rules are the paper's own
+model (Section V) applied at event granularity:
+
+* compute: ``ops / core_ops`` (Eq. 9/12 denominators);
+* intranode traffic: ``bytes / core_mem_bw`` (Eqs. 10/13);
+* remote PUT: ``tau + bytes / core_link_bw`` (tau >> mu, Table I);
+* co-located PUT: converted to a memcpy at memory bandwidth — the
+  HClib-Actor behaviour the paper credits for beating KMC3 on a single
+  node (Section VI-B);
+* barrier: ``tau * log2(P)`` tree reduction (Eq. 3).
+
+Per-element and per-packet CPU overheads are explicit named constants;
+they are the only calibrated values in the whole model and are chosen
+once (documented in EXPERIMENTS.md), not per-experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .machine import MachineConfig
+from .stats import PEStats
+
+__all__ = ["CostModel", "OPS_PER_KMER_PARSE", "OPS_PER_ELEMENT_BUFFER", "OPS_PER_PACKET"]
+
+#: INT64 ops to generate one k-mer (shift, or, mask, store — Eq. 9
+#: charges 1 op per k-mer; we keep the paper's convention).
+OPS_PER_KMER_PARSE: int = 1
+
+#: Ops to append one element to an aggregation buffer (bounds check,
+#: store, counter bump).
+OPS_PER_ELEMENT_BUFFER: int = 2
+
+#: Ops of fixed per-packet handling: buffer management, header
+#: write/parse, dispatch — roughly 30 ns of the Conveyors software
+#: path per packet on a ~5 GHz-equivalent core.  This is what the L2
+#: layer amortises: without L2 every 8-byte k-mer is its own packet
+#: and pays this cost on both sides, which is where the paper's ~2x
+#: L2 speedup on uniform data comes from (Fig. 12).
+OPS_PER_PACKET: int = 160
+
+#: Ops per element on the receive side (type dispatch + append to T).
+OPS_PER_ELEMENT_RECV: int = 2
+
+#: Per-doubling parallel efficiency of a *threaded* rank (OpenMP teams
+#: spanning many cores lose throughput to NUMA traffic, barriers and
+#: false sharing; ~3% per core-count doubling is the well-documented
+#: ballpark).  Applied via ``CostModel(threaded=True)`` for the hybrid
+#: baselines (HySortK's OpenMP ranks, KMC3's thread pool); DAKC's
+#: fine-grained one-PE-per-core deployment does not pay it — part of
+#: its measured single-node advantage (Fig. 9).  A multi-core PE used
+#: merely as a *simulation aggregate* of per-core PEs (pe_granularity
+#: choices for DAKC node sweeps) must NOT set ``threaded``.
+THREAD_EFFICIENCY_PER_DOUBLING: float = 0.97
+
+
+@dataclass
+class CostModel:
+    """Prices events on a machine; mutates :class:`PEStats` clocks."""
+
+    machine: MachineConfig
+    #: Number of physical cores represented by one simulated PE.
+    cores_per_pe: int = 1
+    #: Optional :class:`~repro.runtime.trace.Tracer` recording spans.
+    tracer: object | None = None
+    #: True when a multi-core PE is a real *threaded rank* (OpenMP) —
+    #: it then pays :data:`THREAD_EFFICIENCY_PER_DOUBLING` per core
+    #: doubling.  Leave False for PEs that merely aggregate per-core
+    #: PEs for simulation speed.
+    threaded: bool = False
+
+    def __post_init__(self) -> None:
+        m = self.machine
+        if self.cores_per_pe < 1:
+            raise ValueError("cores_per_pe must be >= 1")
+        if self.cores_per_pe > m.cores_per_node:
+            raise ValueError("a PE cannot span more cores than a node has")
+        #: PEs co-located on one node.
+        self.pes_per_node = max(1, m.cores_per_node // self.cores_per_pe)
+        self.n_pes = m.nodes * self.pes_per_node
+        frac = self.cores_per_pe / m.cores_per_node
+        eff = 1.0
+        if self.threaded and self.cores_per_pe > 1:
+            eff = THREAD_EFFICIENCY_PER_DOUBLING ** math.log2(self.cores_per_pe)
+        self.thread_efficiency = eff
+        self.pe_ops = m.c_node * frac * eff
+        self.pe_mem_bw = m.beta_mem * frac * eff
+        self.pe_link_bw = m.beta_link * frac
+
+    # -- geometry ----------------------------------------------------
+
+    def node_of(self, pe: int) -> int:
+        return pe // self.pes_per_node
+
+    def colocated(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    @property
+    def barrier_time(self) -> float:
+        p = max(2, self.n_pes)
+        return self.machine.tau * math.log2(p)
+
+    # -- charging primitives -----------------------------------------
+
+    def charge_compute(self, pe: PEStats, ops: int | float) -> float:
+        """Charge *ops* INT64 operations; returns the dt applied."""
+        dt = ops / self.pe_ops
+        pe.compute_ops += int(ops)
+        t0 = pe.clock
+        pe.advance(dt)
+        if self.tracer is not None:
+            self.tracer.record(pe.pe, t0, pe.clock, "compute")
+        return dt
+
+    def charge_mem(self, pe: PEStats, nbytes: int | float) -> float:
+        """Charge intranode memory traffic of *nbytes*."""
+        dt = nbytes / self.pe_mem_bw
+        pe.mem_bytes += int(nbytes)
+        t0 = pe.clock
+        pe.advance(dt)
+        if self.tracer is not None:
+            self.tracer.record(pe.pe, t0, pe.clock, "memory")
+        return dt
+
+    def charge_put(self, src: PEStats, dst_pe: int, nbytes: int) -> float:
+        """Charge one PUT from ``src`` toward PE *dst_pe*.
+
+        A remote PUT occupies the sender only for the injection
+        overhead plus its NIC-bandwidth share (one-sided RDMA does not
+        stall the source on the wire latency); the latency ``tau`` is
+        added to the *arrival* time.  Co-located PUTs become memcpys
+        (local latency + memory bandwidth) — the HClib-Actor shared-
+        memory shortcut.  Returns the message's arrival time at the
+        destination.
+        """
+        m = self.machine
+        if self.colocated(src.pe, dst_pe):
+            dt = m.local_latency + nbytes / self.pe_mem_bw
+            src.local_memcpy_bytes += nbytes
+            src.advance(dt)
+            return src.clock
+        dt = m.tau_inject + nbytes / self.pe_link_bw
+        src.puts_issued += 1
+        src.bytes_sent += nbytes
+        t0 = src.clock
+        src.advance(dt)
+        if self.tracer is not None:
+            self.tracer.record(src.pe, t0, src.clock, "send")
+        return src.clock + m.tau
+
+    # -- composite costs ---------------------------------------------
+
+    def parse_cost_time(self, n_kmers: int, read_bytes: int) -> float:
+        """Phase-1 parse time for a PE: Eq. 9 compute + Eq. 10 traffic.
+
+        ``read_bytes`` is the encoded read data scanned; the generated
+        k-mer array write is charged separately when it is routed.
+        """
+        t_comp = n_kmers * OPS_PER_KMER_PARSE / self.pe_ops
+        t_mem = read_bytes / self.pe_mem_bw
+        return t_comp + t_mem
+
+    def sort_cost_time(self, n: int, passes: int, elem_bytes: int = 8) -> float:
+        """Phase-2 radix sort time: Eq. 12 compute + Eq. 13 traffic."""
+        ops = n * passes
+        traffic = 2 * n * elem_bytes * passes  # read + write per pass
+        return ops / self.pe_ops + traffic / self.pe_mem_bw
+
+    # -- queueing ----------------------------------------------------
+
+    @staticmethod
+    def busy_period(start_busy_until: float, jobs: list[tuple[float, float]]) -> float:
+        """Single-server queue finish time.
+
+        ``jobs`` are ``(arrival, service_time)`` pairs; the server is
+        busy until *start_busy_until* before it touches the queue and
+        serves lazily in arrival order (the Conveyors receive-side
+        model: "goes through its received messages lazily").
+        """
+        t = start_busy_until
+        for arrival, service in sorted(jobs, key=lambda j: j[0]):
+            t = max(t, arrival) + service
+        return t

@@ -1,0 +1,241 @@
+"""Virtual routing topologies of the Conveyors layer (Table II).
+
+Conveyors routes fine-grained messages over a *virtual* topology laid
+over the PEs (the paper stresses this is not the physical fabric):
+
+========  =============  ===============  =====
+Protocol  Topology       Memory           #Hops
+========  =============  ===============  =====
+1D        All-Connected  O(P^2)           1
+2D        2D HyperX      O(P^(3/2))       2
+3D        3D HyperX      O(P^(4/3))       3
+========  =============  ===============  =====
+
+Each PE keeps one send buffer per *neighbour*; 1D is all-connected
+(P buffers/PE -> O(P^2) total), 2D arranges PEs on a ~sqrt(P) x sqrt(P)
+grid and routes row-then-column (~2*sqrt(P) buffers/PE), 3D uses a
+cube with three axis hops.  The 2D/3D protocols must carry a 32-bit
+final-destination header on every packet — the overhead the L2
+aggregation layer amortises (Section IV-C).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "Topology",
+    "Topology1D",
+    "Topology2D",
+    "Topology3D",
+    "make_topology",
+    "HEADER_BYTES",
+]
+
+#: 32-bit per-packet routing header used by the 2D and 3D protocols.
+HEADER_BYTES: int = 4
+
+
+def _grid_dims(p: int, ndim: int) -> tuple[int, ...]:
+    """Near-cubic factorisation of [0, p) into *ndim* grid dimensions.
+
+    Uses ceil(p**(1/ndim)) per axis; PEs index into the grid in
+    row-major order and axes may be ragged at the top (standard HyperX
+    embedding for non-perfect sizes).
+    """
+    side = max(1, math.ceil(p ** (1.0 / ndim)))
+    dims = [side] * ndim
+    # Shrink trailing dims while capacity still covers p.
+    for i in range(ndim - 1, -1, -1):
+        while dims[i] > 1:
+            trial = dims.copy()
+            trial[i] -= 1
+            if math.prod(trial) >= p:
+                dims = trial
+            else:
+                break
+    return tuple(dims)
+
+
+class Topology(ABC):
+    """A virtual routing topology over *p* PEs."""
+
+    #: Protocol name: "1D", "2D" or "3D".
+    name: str
+    #: Hops a packet takes between distinct PEs.
+    max_hops: int
+    #: Whether packets need a final-destination header.
+    needs_header: bool
+
+    def __init__(self, p: int) -> None:
+        if p < 1:
+            raise ValueError("topology needs at least one PE")
+        self.p = p
+
+    @abstractmethod
+    def route(self, src: int, dst: int) -> list[int]:
+        """Sequence of PEs a packet visits after leaving *src*.
+
+        The last entry is always *dst*; intermediate entries are
+        store-and-forward relays.  ``route(x, x) == []``.
+        """
+
+    @abstractmethod
+    def neighbors(self, pe: int) -> list[int]:
+        """PEs that *pe* keeps a dedicated send buffer for."""
+
+    def buffers_per_pe(self, pe: int = 0) -> int:
+        """Number of send buffers PE *pe* maintains."""
+        return len(self.neighbors(pe))
+
+    def total_buffers(self) -> int:
+        """Total send buffers across the machine (Table II 'Memory')."""
+        return sum(self.buffers_per_pe(pe) for pe in range(self.p))
+
+    def hop_count(self, src: int, dst: int) -> int:
+        return len(self.route(src, dst))
+
+    def _check(self, src: int, dst: int) -> None:
+        if not (0 <= src < self.p and 0 <= dst < self.p):
+            raise ValueError(f"PE out of range for P={self.p}: {src}->{dst}")
+
+
+class Topology1D(Topology):
+    """All-connected: every PE buffers directly for every other PE."""
+
+    name = "1D"
+    max_hops = 1
+    needs_header = False
+
+    def route(self, src: int, dst: int) -> list[int]:
+        self._check(src, dst)
+        return [] if src == dst else [dst]
+
+    def neighbors(self, pe: int) -> list[int]:
+        return [q for q in range(self.p) if q != pe]
+
+    def buffers_per_pe(self, pe: int = 0) -> int:
+        return self.p - 1
+
+
+class Topology2D(Topology):
+    """2D HyperX: row hop then column hop (<= 2 hops)."""
+
+    name = "2D"
+    max_hops = 2
+    needs_header = True
+
+    def __init__(self, p: int) -> None:
+        super().__init__(p)
+        self.rows, self.cols = _grid_dims(p, 2)
+
+    def coords(self, pe: int) -> tuple[int, int]:
+        return pe // self.cols, pe % self.cols
+
+    def pe_at(self, r: int, c: int) -> int:
+        pe = r * self.cols + c
+        return pe if pe < self.p else -1
+
+    def route(self, src: int, dst: int) -> list[int]:
+        self._check(src, dst)
+        if src == dst:
+            return []
+        sr, sc = self.coords(src)
+        dr, dc = self.coords(dst)
+        if sr == dr or sc == dc:
+            return [dst]  # same row or column: one hop
+        # Row hop to the relay in src's row / dst's column, then column hop.
+        relay = self.pe_at(sr, dc)
+        if relay < 0:
+            # Ragged corner: relay through dst's row / src's column instead.
+            relay = self.pe_at(dr, sc)
+        if relay < 0 or relay == src or relay == dst:
+            return [dst]
+        return [relay, dst]
+
+    def neighbors(self, pe: int) -> list[int]:
+        r, c = self.coords(pe)
+        row = [self.pe_at(r, j) for j in range(self.cols)]
+        col = [self.pe_at(i, c) for i in range(self.rows)]
+        out = {q for q in row + col if 0 <= q != pe}
+        return sorted(out)
+
+
+class Topology3D(Topology):
+    """3D HyperX: one hop per axis (<= 3 hops)."""
+
+    name = "3D"
+    max_hops = 3
+    needs_header = True
+
+    def __init__(self, p: int) -> None:
+        super().__init__(p)
+        self.dx, self.dy, self.dz = _grid_dims(p, 3)
+
+    def coords(self, pe: int) -> tuple[int, int, int]:
+        x = pe // (self.dy * self.dz)
+        rem = pe % (self.dy * self.dz)
+        return x, rem // self.dz, rem % self.dz
+
+    def pe_at(self, x: int, y: int, z: int) -> int:
+        pe = (x * self.dy + y) * self.dz + z
+        return pe if pe < self.p else -1
+
+    def route(self, src: int, dst: int) -> list[int]:
+        self._check(src, dst)
+        if src == dst:
+            return []
+        sx, sy, sz = self.coords(src)
+        dx_, dy_, dz_ = self.coords(dst)
+        path: list[int] = []
+        cur = (sx, sy, sz)
+        # Correct one axis per hop: x, then y, then z.
+        for axis, target in ((0, dx_), (1, dy_), (2, dz_)):
+            if cur[axis] != target:
+                nxt = list(cur)
+                nxt[axis] = target
+                hop = self.pe_at(*nxt)
+                if hop >= 0:
+                    cur = tuple(nxt)
+                    path.append(hop)
+        if not path or path[-1] != dst:
+            # Ragged fallback: finish with a direct hop.
+            path.append(dst)
+        # Collapse consecutive duplicates / src echoes.
+        out: list[int] = []
+        prev = src
+        for hop in path:
+            if hop != prev:
+                out.append(hop)
+                prev = hop
+        return out
+
+    def neighbors(self, pe: int) -> list[int]:
+        x, y, z = self.coords(pe)
+        out = set()
+        for i in range(self.dx):
+            q = self.pe_at(i, y, z)
+            if 0 <= q != pe:
+                out.add(q)
+        for j in range(self.dy):
+            q = self.pe_at(x, j, z)
+            if 0 <= q != pe:
+                out.add(q)
+        for k in range(self.dz):
+            q = self.pe_at(x, y, k)
+            if 0 <= q != pe:
+                out.add(q)
+        return sorted(out)
+
+
+def make_topology(protocol: str, p: int) -> Topology:
+    """Build a topology by protocol name ("1D" | "2D" | "3D")."""
+    proto = protocol.upper()
+    if proto == "1D":
+        return Topology1D(p)
+    if proto == "2D":
+        return Topology2D(p)
+    if proto == "3D":
+        return Topology3D(p)
+    raise ValueError(f"unknown Conveyors protocol {protocol!r} (use 1D/2D/3D)")

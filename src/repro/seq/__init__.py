@@ -1,0 +1,145 @@
+"""Sequence substrate: DNA encoding, k-mer extraction, I/O, simulation.
+
+Public surface of the :mod:`repro.seq` subpackage.  Everything the
+k-mer counting algorithms need from the genomics side lives here:
+
+* :mod:`repro.seq.alphabet` — the 2-bit DNA alphabet and lookup tables;
+* :mod:`repro.seq.encoding` — vectorised ASCII <-> 2-bit conversion;
+* :mod:`repro.seq.kmers` — packed ``uint64`` k-mer extraction;
+* :mod:`repro.seq.fastx` — FASTA/FASTQ reading and writing;
+* :mod:`repro.seq.genomes` — synthetic genome generators;
+* :mod:`repro.seq.readsim` — ART-Illumina-style read simulation;
+* :mod:`repro.seq.datasets` — the Table V dataset registry.
+"""
+
+from .alphabet import BASES, SIGMA
+from .datasets import (
+    ALL_SPECS,
+    REAL_SPECS,
+    SYNTHETIC_SPECS,
+    DatasetSpec,
+    Workload,
+    get_spec,
+    materialize,
+    synthetic_spec,
+    table5_rows,
+)
+from .encoding import decode_codes, encode_seq
+from .fastx import SeqRecord, read_fasta, read_fastq, read_fastx, write_fasta, write_fastq
+from .genomes import RepeatSpec, repeat_genome, uniform_genome
+from .kmers import (
+    MAX_K,
+    canonical_kmers,
+    extract_kmers,
+    extract_kmers_from_reads,
+    iter_kmers,
+    kmer_storage_bytes,
+    kmer_to_str,
+    kmer_width_bits,
+    reverse_complement_kmer,
+    reverse_complement_kmers,
+    str_to_kmer,
+)
+from .bigkmers import (
+    MAX_BIG_K,
+    BigKmerArray,
+    canonical_big,
+    extract_big_kmers,
+    extract_big_kmers_from_reads,
+    reverse_complement_big,
+)
+from .composition import (
+    ReadSetSummary,
+    base_composition,
+    dust_score,
+    gc_content,
+    per_position_composition,
+    quality_profile,
+    summarize_reads,
+)
+from .minimizers import (
+    SuperKmer,
+    minimizers_of_kmers,
+    read_minimizers,
+    split_superkmers,
+    superkmer_compression_ratio,
+)
+from .quality import (
+    decode_phred,
+    encode_phred,
+    expected_errors,
+    mask_low_quality,
+    mean_quality,
+    prepare_reads,
+    trim_record,
+)
+from .readsim import ReadSimConfig, reads_to_records, simulate_reads
+from .sharding import Shard, compute_shards, read_shard, shard_fastq
+
+__all__ = [
+    "BASES",
+    "SIGMA",
+    "MAX_K",
+    "DatasetSpec",
+    "Workload",
+    "ALL_SPECS",
+    "REAL_SPECS",
+    "SYNTHETIC_SPECS",
+    "get_spec",
+    "materialize",
+    "synthetic_spec",
+    "table5_rows",
+    "encode_seq",
+    "decode_codes",
+    "SeqRecord",
+    "read_fasta",
+    "read_fastq",
+    "read_fastx",
+    "write_fasta",
+    "write_fastq",
+    "RepeatSpec",
+    "uniform_genome",
+    "repeat_genome",
+    "extract_kmers",
+    "extract_kmers_from_reads",
+    "iter_kmers",
+    "canonical_kmers",
+    "kmer_to_str",
+    "str_to_kmer",
+    "kmer_width_bits",
+    "kmer_storage_bytes",
+    "reverse_complement_kmer",
+    "reverse_complement_kmers",
+    "ReadSimConfig",
+    "simulate_reads",
+    "reads_to_records",
+    "MAX_BIG_K",
+    "BigKmerArray",
+    "extract_big_kmers",
+    "extract_big_kmers_from_reads",
+    "canonical_big",
+    "reverse_complement_big",
+    "decode_phred",
+    "encode_phred",
+    "mean_quality",
+    "expected_errors",
+    "trim_record",
+    "mask_low_quality",
+    "prepare_reads",
+    "minimizers_of_kmers",
+    "read_minimizers",
+    "SuperKmer",
+    "split_superkmers",
+    "superkmer_compression_ratio",
+    "Shard",
+    "compute_shards",
+    "read_shard",
+    "shard_fastq",
+    "base_composition",
+    "gc_content",
+    "per_position_composition",
+    "quality_profile",
+    "dust_score",
+    "ReadSetSummary",
+    "summarize_reads",
+]

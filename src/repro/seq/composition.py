@@ -1,0 +1,135 @@
+"""Read-set composition statistics.
+
+Sequencing QC lives upstream of counting: base composition, GC
+content, per-position quality profiles and low-complexity screening
+decide what reaches the counter.  These are the vectorised utilities a
+`fastqc`-style report draws on, operating directly on the encoded read
+matrices the rest of the library uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fastx import SeqRecord
+from .quality import decode_phred
+
+__all__ = [
+    "base_composition",
+    "gc_content",
+    "per_position_composition",
+    "quality_profile",
+    "dust_score",
+    "ReadSetSummary",
+    "summarize_reads",
+]
+
+
+def base_composition(reads: np.ndarray | list) -> np.ndarray:
+    """Fraction of A/C/G/T over all bases (4-vector)."""
+    if isinstance(reads, np.ndarray):
+        flat = reads.ravel()
+    else:
+        flat = np.concatenate([np.asarray(r, dtype=np.uint8) for r in reads]) if reads else np.empty(0, np.uint8)
+    if flat.size == 0:
+        return np.zeros(4)
+    counts = np.bincount(flat[flat <= 3], minlength=4)
+    total = counts.sum()
+    return counts / total if total else np.zeros(4)
+
+
+def gc_content(reads: np.ndarray | list) -> float:
+    """GC fraction of the read set (codes 1=C and 2=G)."""
+    comp = base_composition(reads)
+    return float(comp[1] + comp[2])
+
+
+def per_position_composition(reads: np.ndarray) -> np.ndarray:
+    """(read_len, 4) per-cycle base fractions (matrix input only).
+
+    Sequencing-cycle biases (adapter contamination, hexamer priming)
+    show up as position-dependent skew here.
+    """
+    if reads.ndim != 2:
+        raise ValueError("per-position composition needs a 2-D read matrix")
+    n, m = reads.shape
+    out = np.zeros((m, 4))
+    if n == 0:
+        return out
+    for base in range(4):
+        out[:, base] = (reads == base).mean(axis=0)
+    return out
+
+
+def quality_profile(records: list[SeqRecord]) -> np.ndarray:
+    """Mean Phred score per cycle (ragged reads padded with NaN-skip)."""
+    if not records:
+        return np.zeros(0)
+    max_len = max(len(r.seq) for r in records)
+    sums = np.zeros(max_len)
+    counts = np.zeros(max_len)
+    for rec in records:
+        if rec.qual is None:
+            continue
+        scores = decode_phred(rec.qual)
+        sums[: scores.size] += scores
+        counts[: scores.size] += 1
+    with np.errstate(invalid="ignore", divide="ignore"):
+        profile = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+    return profile
+
+
+def dust_score(codes: np.ndarray, *, window: int = 3) -> float:
+    """DUST-style low-complexity score of one encoded sequence.
+
+    Counts triplet (default) frequencies; a perfectly diverse sequence
+    scores ~0, a mononucleotide run scores ~1.  The standard screen
+    for masking simple repeats before k-mer analysis.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    n = codes.size - window + 1
+    if n <= 1:
+        return 0.0
+    words = np.zeros(n, dtype=np.int64)
+    for j in range(window):
+        words = (words << 2) | codes[j : j + n].astype(np.int64)
+    counts = np.bincount(words, minlength=4**window).astype(np.float64)
+    # Sum over c*(c-1)/2, normalised by the maximum (all-one-word).
+    score = float((counts * (counts - 1)).sum() / 2.0)
+    max_score = n * (n - 1) / 2.0
+    return score / max_score if max_score else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ReadSetSummary:
+    """Headline QC numbers of a read set."""
+
+    n_reads: int
+    total_bases: int
+    mean_read_length: float
+    gc: float
+    composition: tuple[float, float, float, float]
+    mean_dust: float
+
+
+def summarize_reads(reads: np.ndarray | list, *, dust_sample: int = 100) -> ReadSetSummary:
+    """One-call QC summary of an encoded read set."""
+    if isinstance(reads, np.ndarray):
+        rows = list(reads)
+    else:
+        rows = [np.asarray(r, dtype=np.uint8) for r in reads]
+    n = len(rows)
+    total = sum(int(r.size) for r in rows)
+    comp = base_composition(rows)
+    sample = rows[:: max(1, n // dust_sample)] if n else []
+    dust = float(np.mean([dust_score(r) for r in sample])) if sample else 0.0
+    return ReadSetSummary(
+        n_reads=n,
+        total_bases=total,
+        mean_read_length=total / n if n else 0.0,
+        gc=float(comp[1] + comp[2]),
+        composition=tuple(float(x) for x in comp),
+        mean_dust=dust,
+    )

@@ -1,0 +1,177 @@
+"""Minimal FASTA/FASTQ reading and writing.
+
+The paper's inputs are FASTQ files produced by the ART Illumina
+simulator or downloaded from NCBI SRA ("In the input FASTA/Q files,
+each DNA character is represented using an 8-bit ASCII character").
+This module provides the parsing substrate: a small, dependency-free
+reader/writer pair good enough to round-trip the synthetic datasets we
+generate and to ingest externally produced files.
+
+Parsing is line-oriented and streams records; it does not build an
+index.  I/O time is excluded from the distributed measurements in the
+paper and in our benchmarks, so simplicity beats cleverness here.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "SeqRecord",
+    "read_fasta",
+    "read_fastq",
+    "read_fastx",
+    "write_fasta",
+    "write_fastq",
+    "sniff_format",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SeqRecord:
+    """One sequence record: identifier, bases, optional quality string."""
+
+    name: str
+    seq: str
+    qual: str | None = None
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return len(self.seq)
+
+
+def _open_text(path: str | os.PathLike[str] | io.TextIOBase):
+    if isinstance(path, io.TextIOBase):
+        return path, False
+    return open(Path(path), "rt", encoding="ascii"), True
+
+
+def read_fasta(path: str | os.PathLike[str] | io.TextIOBase) -> Iterator[SeqRecord]:
+    """Stream records from a FASTA file (multi-line sequences allowed)."""
+    fh, should_close = _open_text(path)
+    try:
+        name: str | None = None
+        chunks: list[str] = []
+        for line in fh:
+            line = line.rstrip("\r\n")
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield SeqRecord(name, "".join(chunks))
+                name = line[1:].split()[0] if len(line) > 1 else ""
+                chunks = []
+            else:
+                if name is None:
+                    raise ValueError("FASTA file does not start with '>'")
+                chunks.append(line.strip())
+        if name is not None:
+            yield SeqRecord(name, "".join(chunks))
+    finally:
+        if should_close:
+            fh.close()
+
+
+def read_fastq(path: str | os.PathLike[str] | io.TextIOBase) -> Iterator[SeqRecord]:
+    """Stream records from a FASTQ file (4-line records)."""
+    fh, should_close = _open_text(path)
+    try:
+        while True:
+            header = fh.readline()
+            if not header:
+                return
+            header = header.rstrip("\r\n")
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise ValueError(f"malformed FASTQ header: {header!r}")
+            seq = fh.readline().rstrip("\r\n")
+            plus = fh.readline().rstrip("\r\n")
+            qual = fh.readline().rstrip("\r\n")
+            if not plus.startswith("+"):
+                raise ValueError(f"malformed FASTQ separator: {plus!r}")
+            if len(qual) != len(seq):
+                raise ValueError(
+                    f"quality length {len(qual)} != sequence length {len(seq)}"
+                )
+            yield SeqRecord(header[1:].split()[0] if len(header) > 1 else "", seq, qual)
+    finally:
+        if should_close:
+            fh.close()
+
+
+def sniff_format(path: str | os.PathLike[str]) -> str:
+    """Guess 'fasta' or 'fastq' from the first non-blank character."""
+    with open(Path(path), "rt", encoding="ascii") as fh:
+        for line in fh:
+            s = line.strip()
+            if not s:
+                continue
+            if s.startswith(">"):
+                return "fasta"
+            if s.startswith("@"):
+                return "fastq"
+            break
+    raise ValueError(f"cannot determine FASTA/FASTQ format of {path}")
+
+
+def read_fastx(path: str | os.PathLike[str]) -> Iterator[SeqRecord]:
+    """Read either FASTA or FASTQ, dispatching on content."""
+    fmt = sniff_format(path)
+    return read_fasta(path) if fmt == "fasta" else read_fastq(path)
+
+
+def write_fasta(
+    path: str | os.PathLike[str] | io.TextIOBase,
+    records: Iterable[SeqRecord],
+    *,
+    line_width: int = 0,
+) -> int:
+    """Write records as FASTA; returns the number of records written.
+
+    ``line_width > 0`` wraps sequence lines at that width.
+    """
+    fh, should_close = (
+        (path, False) if isinstance(path, io.TextIOBase) else (open(Path(path), "wt"), True)
+    )
+    n = 0
+    try:
+        for rec in records:
+            fh.write(f">{rec.name}\n")
+            if line_width and line_width > 0:
+                for i in range(0, len(rec.seq), line_width):
+                    fh.write(rec.seq[i : i + line_width] + "\n")
+            else:
+                fh.write(rec.seq + "\n")
+            n += 1
+    finally:
+        if should_close:
+            fh.close()
+    return n
+
+
+def write_fastq(
+    path: str | os.PathLike[str] | io.TextIOBase,
+    records: Iterable[SeqRecord],
+    *,
+    default_qual: str = "I",
+) -> int:
+    """Write records as FASTQ; records lacking quality get *default_qual*."""
+    fh, should_close = (
+        (path, False) if isinstance(path, io.TextIOBase) else (open(Path(path), "wt"), True)
+    )
+    n = 0
+    try:
+        for rec in records:
+            qual = rec.qual if rec.qual is not None else default_qual * len(rec.seq)
+            if len(qual) != len(rec.seq):
+                raise ValueError("quality length mismatch")
+            fh.write(f"@{rec.name}\n{rec.seq}\n+\n{qual}\n")
+            n += 1
+    finally:
+        if should_close:
+            fh.close()
+    return n

@@ -1,0 +1,224 @@
+"""k-mer extraction, packing and manipulation.
+
+Implements the k-mer generation kernel of Algorithm 1 (``GetFirstKmer``
+plus the rolling ``(kmer << 2) | Encode(base)`` update) in two forms:
+
+* :func:`iter_kmers` — the faithful per-base rolling loop, used as the
+  reference implementation in tests;
+* :func:`extract_kmers` — the vectorised NumPy version used by all the
+  actual counters (k shifted adds over the window array instead of a
+  per-window Python loop).
+
+k-mers of length ``k <= 32`` are stored in unsigned 64-bit integers, as
+in the paper ("k-mers of length <= 32 are stored as 64-bit integers";
+Section IV-C).  The *storage width* follows the model's
+``2 ** ceil(log2(2k))`` bits rule (Section V), e.g. k=31 -> 64 bits,
+k=15 -> 32 bits; this width feeds the analytical model's byte counts.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+
+import numpy as np
+
+from .alphabet import BASES, INVALID_CODE
+from .encoding import encode_base, encode_seq
+
+__all__ = [
+    "MAX_K",
+    "kmer_width_bits",
+    "kmer_storage_bytes",
+    "extract_kmers",
+    "extract_kmers_from_reads",
+    "iter_kmers",
+    "kmer_to_str",
+    "str_to_kmer",
+    "reverse_complement_kmer",
+    "reverse_complement_kmers",
+    "canonical_kmers",
+    "count_kmers_in_read",
+]
+
+#: Largest supported k (64-bit packed representation, as in the paper).
+MAX_K: int = 32
+
+
+def _check_k(k: int) -> None:
+    if not 1 <= k <= MAX_K:
+        raise ValueError(f"k must be in [1, {MAX_K}], got {k}")
+
+
+def kmer_width_bits(k: int) -> int:
+    """Storage width in bits for a k-mer: ``2 ** ceil(log2(2k))``.
+
+    This is the paper's storage rule (Section V): a k-mer needs ``2k``
+    bits, rounded up to the next power-of-two machine width.
+    """
+    _check_k(k)
+    return 2 ** math.ceil(math.log2(2 * k))
+
+
+def kmer_storage_bytes(k: int) -> int:
+    """Storage width in bytes (``kmer_width_bits / 8``), min 1."""
+    return max(1, kmer_width_bits(k) // 8)
+
+
+def extract_kmers(codes: np.ndarray, k: int) -> np.ndarray:
+    """Extract all k-mers of an encoded read as packed ``uint64``.
+
+    Vectorised: performs ``k`` shifted ORs over the windowed view
+    rather than one Python-level loop per window.  A read of ``m``
+    bases yields ``m - k + 1`` k-mers (empty array if ``m < k``).
+
+    Windows containing an invalid code (ambiguous base) are dropped,
+    matching the standard treatment of ``N`` bases.
+    """
+    _check_k(k)
+    codes = np.asarray(codes, dtype=np.uint8)
+    m = codes.size
+    if m < k:
+        return np.empty(0, dtype=np.uint64)
+    n_win = m - k + 1
+    kmers = np.zeros(n_win, dtype=np.uint64)
+    for j in range(k):
+        np.left_shift(kmers, np.uint64(2), out=kmers)
+        np.bitwise_or(kmers, codes[j : j + n_win].astype(np.uint64), out=kmers)
+    invalid = codes == INVALID_CODE
+    if invalid.any():
+        # A window [i, i+k) is valid iff no invalid code falls in it.
+        bad = np.convolve(invalid.astype(np.int64), np.ones(k, dtype=np.int64))
+        kmers = kmers[bad[k - 1 : k - 1 + n_win] == 0]
+    return kmers
+
+
+def extract_kmers_from_reads(reads: list[np.ndarray] | np.ndarray, k: int) -> np.ndarray:
+    """Extract and concatenate k-mers from a batch of encoded reads.
+
+    Accepts either a list of per-read code arrays or a 2-D ``uint8``
+    array of equal-length reads (rows are reads).  The 2-D form is the
+    fast path for simulated short-read data where every read has the
+    same length, and extracts all k-mers with ``k`` vectorised passes
+    over the whole matrix.
+    """
+    _check_k(k)
+    if isinstance(reads, np.ndarray) and reads.ndim == 2:
+        n, m = reads.shape
+        if m < k:
+            return np.empty(0, dtype=np.uint64)
+        if reads.size and reads.max() > 3:
+            # Ambiguous bases present: the dense path would fold the
+            # sentinel codes into garbage k-mers.  Fall back to the
+            # per-read extractor, which drops windows spanning them.
+            return extract_kmers_from_reads([row for row in reads], k)
+        n_win = m - k + 1
+        kmers = np.zeros((n, n_win), dtype=np.uint64)
+        for j in range(k):
+            np.left_shift(kmers, np.uint64(2), out=kmers)
+            np.bitwise_or(
+                kmers, reads[:, j : j + n_win].astype(np.uint64), out=kmers
+            )
+        return kmers.ravel()
+    parts = [extract_kmers(r, k) for r in reads]
+    if not parts:
+        return np.empty(0, dtype=np.uint64)
+    return np.concatenate(parts)
+
+
+def iter_kmers(seq: str, k: int) -> Iterator[int]:
+    """Faithful scalar transcription of Algorithm 1's k-mer generation.
+
+    ``GetFirstKmer`` builds the first window; subsequent windows roll
+    with ``kmer = ((kmer << 2) | code) & mask``.  Reference path for
+    tests; use :func:`extract_kmers` for real workloads.
+    """
+    _check_k(k)
+    if len(seq) < k:
+        return
+    codes = encode_seq(seq)
+    mask = (1 << (2 * k)) - 1
+    # GetFirstKmer(R[1:k])
+    kmer = 0
+    for i in range(k):
+        kmer = (kmer << 2) | int(codes[i])
+    yield kmer
+    # Rolling update for j = k+1 .. m
+    for j in range(k, len(seq)):
+        kmer = ((kmer << 2) | int(codes[j])) & mask
+        yield kmer
+
+
+def kmer_to_str(kmer: int, k: int) -> str:
+    """Decode a packed k-mer integer back to its DNA string."""
+    _check_k(k)
+    kmer = int(kmer)
+    if kmer >> (2 * k):
+        raise ValueError(f"kmer value out of range for k={k}")
+    out = []
+    for i in range(k):
+        shift = 2 * (k - 1 - i)
+        out.append(BASES[(kmer >> shift) & 0x3])
+    return "".join(out)
+
+
+def str_to_kmer(s: str) -> int:
+    """Encode a DNA string of length <= 32 into a packed k-mer integer."""
+    _check_k(len(s))
+    kmer = 0
+    for ch in s:
+        kmer = (kmer << 2) | encode_base(ch)
+    return kmer
+
+
+def reverse_complement_kmer(kmer: int, k: int) -> int:
+    """Reverse complement of a single packed k-mer (scalar reference)."""
+    _check_k(k)
+    out = 0
+    kmer = int(kmer)
+    for _ in range(k):
+        out = (out << 2) | (3 - (kmer & 0x3))
+        kmer >>= 2
+    return out
+
+
+def reverse_complement_kmers(kmers: np.ndarray, k: int) -> np.ndarray:
+    """Vectorised reverse complement of packed ``uint64`` k-mers.
+
+    Uses the classic bit-swap ladder: complement all bases (XOR with
+    all-ones over 2k bits), then reverse the order of 2-bit groups by
+    swapping progressively larger blocks.
+    """
+    _check_k(k)
+    x = np.asarray(kmers, dtype=np.uint64).copy()
+    mask = np.uint64((1 << (2 * k)) - 1) if k < 32 else np.uint64(0xFFFFFFFFFFFFFFFF)
+    # Complement: 3 - c == c ^ 0b11 for each 2-bit group.
+    x = (x ^ np.uint64(0xFFFFFFFFFFFFFFFF)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+    # Reverse 2-bit groups within the full 64-bit word.
+    c1 = np.uint64(0x3333333333333333)
+    c2 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    x = ((x >> np.uint64(2)) & c1) | ((x & c1) << np.uint64(2))
+    x = ((x >> np.uint64(4)) & c2) | ((x & c2) << np.uint64(4))
+    x = x.byteswap()
+    # The groups are now reversed across 64 bits; shift down so the
+    # k-mer occupies the low 2k bits again.
+    x = x >> np.uint64(64 - 2 * k)
+    return x & mask
+
+
+def canonical_kmers(kmers: np.ndarray, k: int) -> np.ndarray:
+    """Elementwise ``min(kmer, revcomp(kmer))`` — the canonical form.
+
+    The paper's algorithms count k-mers as parsed (no canonicalisation
+    appears in Algorithms 1-4), but genomics pipelines built on top of
+    a counter usually want canonical counts, so the public API exposes
+    this as an option.
+    """
+    rc = reverse_complement_kmers(kmers, k)
+    return np.minimum(np.asarray(kmers, dtype=np.uint64), rc)
+
+
+def count_kmers_in_read(m: int, k: int) -> int:
+    """Number of k-mers in a read of length *m*: ``max(0, m - k + 1)``."""
+    _check_k(k)
+    return max(0, m - k + 1)

@@ -1,0 +1,111 @@
+"""FASTQ quality handling: Phred scores, trimming, masking.
+
+Production counters preprocess reads before counting (KMC3 and
+HySortK both skip low-quality ends and ambiguous bases).  This module
+supplies that preprocessing: Phred+33 decoding, quality statistics,
+end-trimming and low-quality masking — all vectorised, feeding the
+encoded-read pipeline directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .encoding import encode_seq
+from .fastx import SeqRecord
+
+__all__ = [
+    "PHRED_OFFSET",
+    "decode_phred",
+    "encode_phred",
+    "mean_quality",
+    "expected_errors",
+    "trim_record",
+    "mask_low_quality",
+    "prepare_reads",
+]
+
+#: Standard Sanger/Illumina 1.8+ Phred offset.
+PHRED_OFFSET: int = 33
+
+
+def decode_phred(qual: str) -> np.ndarray:
+    """Quality string -> integer Phred scores (vectorised)."""
+    raw = np.frombuffer(qual.encode("ascii"), dtype=np.uint8)
+    if raw.size and raw.min() < PHRED_OFFSET:
+        raise ValueError("quality string below Phred+33 range")
+    return (raw - PHRED_OFFSET).astype(np.int16)
+
+
+def encode_phred(scores: np.ndarray) -> str:
+    """Integer Phred scores -> quality string."""
+    scores = np.asarray(scores)
+    if scores.size and (scores.min() < 0 or scores.max() > 93):
+        raise ValueError("Phred scores must be in [0, 93]")
+    return (scores.astype(np.uint8) + PHRED_OFFSET).tobytes().decode("ascii")
+
+
+def mean_quality(qual: str) -> float:
+    """Mean Phred score of a read (0.0 for empty)."""
+    scores = decode_phred(qual)
+    return float(scores.mean()) if scores.size else 0.0
+
+
+def expected_errors(qual: str) -> float:
+    """Expected substitution errors: sum of 10^(-Q/10)."""
+    scores = decode_phred(qual)
+    return float(np.sum(10.0 ** (-scores / 10.0))) if scores.size else 0.0
+
+
+def trim_record(record: SeqRecord, *, min_quality: int = 20,
+                min_length: int = 1) -> SeqRecord | None:
+    """Trim low-quality ends (BWA-style running-sum trimming).
+
+    Cuts the longest prefix/suffix whose scores fall below
+    *min_quality*; returns None when fewer than *min_length* bases
+    survive.  Records without quality pass through unchanged.
+    """
+    if record.qual is None:
+        return record
+    scores = decode_phred(record.qual)
+    good = scores >= min_quality
+    if not good.any():
+        return None
+    first = int(np.argmax(good))
+    last = len(good) - int(np.argmax(good[::-1]))
+    if last - first < min_length:
+        return None
+    return SeqRecord(record.name, record.seq[first:last], record.qual[first:last])
+
+
+def mask_low_quality(record: SeqRecord, *, min_quality: int = 10) -> SeqRecord:
+    """Replace bases below *min_quality* with ``N`` (k-mers spanning
+    them are then skipped by the extractor)."""
+    if record.qual is None:
+        return record
+    scores = decode_phred(record.qual)
+    seq = np.frombuffer(record.seq.encode("ascii"), dtype=np.uint8).copy()
+    seq[scores < min_quality] = ord("N")
+    return SeqRecord(record.name, seq.tobytes().decode("ascii"), record.qual)
+
+
+def prepare_reads(
+    records,
+    *,
+    min_quality: int = 20,
+    mask_quality: int = 10,
+    min_length: int = 32,
+) -> list[np.ndarray]:
+    """Full preprocessing: trim ends, mask interior, encode.
+
+    Returns encoded code arrays ready for the counters; k-mer windows
+    spanning masked positions are dropped during extraction.
+    """
+    out: list[np.ndarray] = []
+    for rec in records:
+        trimmed = trim_record(rec, min_quality=min_quality, min_length=min_length)
+        if trimmed is None:
+            continue
+        masked = mask_low_quality(trimmed, min_quality=mask_quality)
+        out.append(encode_seq(masked.seq, validate=False))
+    return out

@@ -1,0 +1,37 @@
+"""Sorting substrate: radix / hybrid sorting and accumulation.
+
+Implements the Phase-2 kernels of every counter in the paper:
+LSD radix sort (:mod:`repro.sort.radix`), the ska_sort-style hybrid
+policy (:mod:`repro.sort.hybrid`), sortedness heuristics
+(:mod:`repro.sort.checks`) and the accumulate sweeps
+(:mod:`repro.sort.accumulate`).
+"""
+
+from .accumulate import (
+    accumulate_sorted,
+    accumulate_weighted,
+    counts_to_histogram,
+    merge_count_arrays,
+)
+from .checks import count_descents, is_sorted, presortedness, sorted_run_fraction
+from .hybrid import COMPARISON_THRESHOLD, PRESORTED_CUTOFF, HybridSortStats, hybrid_sort
+from .radix import RadixSortStats, digit_histogram, radix_passes_for_bits, radix_sort
+
+__all__ = [
+    "radix_sort",
+    "radix_passes_for_bits",
+    "digit_histogram",
+    "RadixSortStats",
+    "hybrid_sort",
+    "HybridSortStats",
+    "COMPARISON_THRESHOLD",
+    "PRESORTED_CUTOFF",
+    "is_sorted",
+    "presortedness",
+    "count_descents",
+    "sorted_run_fraction",
+    "accumulate_sorted",
+    "accumulate_weighted",
+    "counts_to_histogram",
+    "merge_count_arrays",
+]

@@ -1,0 +1,112 @@
+"""Accumulation of sorted k-mer arrays into (k-mer, count) pairs.
+
+``Accumulate`` in Algorithms 1-4 "sweeps a sorted array of k-mers and
+counts the frequency of each k-mer".  Two variants are needed:
+
+* :func:`accumulate_sorted` — plain run-length accumulate of a sorted
+  k-mer array (Phase 2 of every counter);
+* :func:`accumulate_weighted` — accumulate of ``(kmer, count)`` pairs,
+  required on the receive side of DAKC's L3 protocol where HEAVY
+  packets already carry partial counts (Algorithm 4,
+  ``ProcessReceiveBuffer``).
+
+Both are single vectorised sweeps (``np.diff`` on the sorted keys +
+``np.add.reduceat`` / prefix-sum differences), not Python loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accumulate_sorted",
+    "accumulate_weighted",
+    "counts_to_histogram",
+    "merge_count_arrays",
+]
+
+
+def accumulate_sorted(kmers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Run-length accumulate a **sorted** k-mer array.
+
+    Returns ``(unique_kmers, counts)`` with ``counts.sum() == len(kmers)``.
+    Raises :class:`ValueError` if the input is not sorted — callers are
+    expected to have sorted already; silently accepting unsorted input
+    would return wrong counts.
+    """
+    a = np.asarray(kmers, dtype=np.uint64)
+    if a.size == 0:
+        return np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
+    if a.size > 1 and (a[:-1] > a[1:]).any():
+        raise ValueError("accumulate_sorted requires a sorted array")
+    boundaries = np.flatnonzero(a[1:] != a[:-1]) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [a.size]))
+    return a[starts].copy(), (ends - starts).astype(np.int64)
+
+
+def accumulate_weighted(
+    kmers: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Accumulate ``(kmer, count)`` pairs; input need not be sorted.
+
+    Sorts by k-mer (stable) and sums weights per key.  This is the
+    receive-side accumulate DAKC runs when HEAVY packets carry
+    pre-aggregated ``{kmer, count}`` pairs.
+    """
+    a = np.asarray(kmers, dtype=np.uint64)
+    w = np.asarray(weights, dtype=np.int64)
+    if a.shape != w.shape:
+        raise ValueError("kmers and weights must have the same shape")
+    if a.size == 0:
+        return np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
+    order = np.argsort(a, kind="stable")
+    a = a[order]
+    w = w[order]
+    boundaries = np.flatnonzero(a[1:] != a[:-1]) + 1
+    starts = np.concatenate(([0], boundaries))
+    uniq = a[starts].copy()
+    sums = np.add.reduceat(w, starts)
+    return uniq, sums.astype(np.int64)
+
+
+def counts_to_histogram(counts: np.ndarray, *, max_count: int | None = None) -> np.ndarray:
+    """Histogram of count values (the k-mer *spectrum*).
+
+    ``hist[c]`` = number of distinct k-mers occurring exactly ``c``
+    times.  This is the classic k-mer spectrum used for genome-size
+    estimation and error filtering (motivating applications in the
+    paper's introduction).
+    """
+    c = np.asarray(counts, dtype=np.int64)
+    if c.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    if (c < 0).any():
+        raise ValueError("counts must be non-negative")
+    hist = np.bincount(c)
+    if max_count is not None:
+        if hist.size > max_count + 1:
+            tail = hist[max_count + 1 :].sum()
+            hist = hist[: max_count + 1].copy()
+            hist[max_count] += tail
+        else:
+            hist = np.pad(hist, (0, max_count + 1 - hist.size))
+    return hist
+
+
+def merge_count_arrays(
+    parts: list[tuple[np.ndarray, np.ndarray]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge several ``(unique_kmers, counts)`` arrays into one.
+
+    Used to combine per-PE local results into a global ordered array
+    (the paper's final ``C``).  Distinct PEs own disjoint key sets when
+    partitioned by OwnerPE, but this merge is general and sums
+    duplicate keys.
+    """
+    parts = [p for p in parts if p[0].size]
+    if not parts:
+        return np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
+    keys = np.concatenate([p[0] for p in parts])
+    vals = np.concatenate([p[1] for p in parts])
+    return accumulate_weighted(keys, vals)

@@ -1,0 +1,61 @@
+"""Tests for automated k selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.kselect import KCandidate, choose_k, evaluate_k
+from repro.core.serial import serial_count
+from repro.seq.genomes import uniform_genome
+from repro.seq.readsim import ReadSimConfig, simulate_reads
+
+
+@pytest.fixture(scope="module")
+def noisy_reads():
+    genome = uniform_genome(20_000, seed=31)
+    return simulate_reads(
+        genome, ReadSimConfig(read_len=100, coverage=30.0, error_rate=0.01, seed=31)
+    )
+
+
+class TestEvaluate:
+    def test_partition_of_distinct(self, noisy_reads):
+        kc = serial_count(noisy_reads, 21)
+        cand = evaluate_k(kc)
+        assert cand.k == 21
+        assert cand.genomic_distinct + cand.error_distinct == cand.distinct
+        assert 0 < cand.genomic_fraction < 1
+
+    def test_clean_reads_all_genomic(self):
+        genome = uniform_genome(5_000, seed=1)
+        reads = simulate_reads(
+            genome, ReadSimConfig(read_len=100, coverage=20.0, error_rate=0.0, seed=1)
+        )
+        cand = evaluate_k(serial_count(reads, 21))
+        assert cand.genomic_fraction > 0.95
+
+
+class TestChooseK:
+    def test_returns_candidate_per_k(self, noisy_reads):
+        best, candidates = choose_k(noisy_reads, [15, 21, 27])
+        assert [c.k for c in candidates] == [15, 21, 27]
+        assert best in (15, 21, 27)
+
+    def test_best_maximises_genomic_distinct(self, noisy_reads):
+        best, candidates = choose_k(noisy_reads, [11, 21, 31])
+        winner = max(candidates, key=lambda c: c.genomic_distinct)
+        assert best == winner.k
+
+    def test_on_simulated_cluster(self, noisy_reads):
+        """The sweep runs end-to-end on the simulated machine too."""
+        best_sim, _ = choose_k(noisy_reads[:200], [15, 25],
+                               algorithm="dakc", nodes=2, machine="laptop")
+        best_ser, _ = choose_k(noisy_reads[:200], [15, 25])
+        assert best_sim == best_ser
+
+    def test_validation(self, noisy_reads):
+        with pytest.raises(ValueError):
+            choose_k(noisy_reads, [])
+        with pytest.raises(ValueError):
+            choose_k(noisy_reads, [21, 21])

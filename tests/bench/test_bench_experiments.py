@@ -1,0 +1,120 @@
+"""Smoke + shape tests for the experiment registry (cheap settings)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, list_experiments, run_experiment
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        """One experiment per table (II-V) and figure (1-13)."""
+        ids = set(list_experiments())
+        for table in ("table2", "table3", "table4", "table5"):
+            assert table in ids
+        for fig in range(1, 14):
+            assert f"fig{fig}" in ids
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+
+class TestCheapExperiments:
+    def test_table2_hop_bounds(self):
+        r = run_experiment("table2", p=64)
+        rows = r.tables[0][1]
+        hops = {row["Protocol"]: row["#Hops"] for row in rows}
+        assert hops == {"1D": 1, "2D": 2, "3D": 3}
+        buffers = {row["Protocol"]: row["Total buffers"] for row in rows}
+        assert buffers["1D"] > buffers["2D"] > buffers["3D"]
+
+    def test_table3_rows(self):
+        r = run_experiment("table3", p=64)
+        assert len(r.tables[0][1]) == 4
+
+    def test_table4_rows(self):
+        r = run_experiment("table4")
+        assert any("121.9" in row["Value"] for row in r.tables[0][1])
+
+    def test_table5_full_inventory(self):
+        r = run_experiment("table5")
+        assert len(r.tables[0][1]) == 20
+
+    def test_fig2_memory_ordering(self):
+        r = run_experiment("fig2", node_counts=[2, 64])
+        rows = r.tables[0][1]
+        assert len(rows) == 2
+        # At 64 nodes the 1D memory dwarfs 3D.
+        assert "MB" in rows[1]["1D"]
+
+    def test_fig5_breakdown(self):
+        r = run_experiment("fig5")
+        shares = {row["component"]: row["share"] for row in r.tables[0][1]}
+        assert set(shares) == {"compute", "intranode", "internode"}
+        compute_pct = float(shares["compute"].split()[0])
+        assert compute_pct < 10.0
+
+    def test_fig5_roofline_claim(self):
+        r = run_experiment("fig5")
+        roof = {row["quantity"]: row["value"] for row in r.tables[1][1]}
+        assert "0.123" in roof["DAKC op-to-byte"]
+
+
+class TestShapeExperiments:
+    """Slower experiments at reduced budgets — shape assertions only."""
+
+    def test_fig6_radix_beats_quicksort(self):
+        # Default budget: the sort-path difference needs per-rank
+        # arrays large enough to spill the (scaled) cache.
+        r = run_experiment("fig6")
+        for row in r.tables[0][1]:
+            if row["speedup"] != "-":
+                assert float(row["speedup"].rstrip("x")) > 1.15
+
+    def test_fig8_oom_pattern(self):
+        r = run_experiment("fig8", budget=120_000, node_counts=[16, 64])
+        rows = {row["nodes"]: row for row in r.tables[0][1]}
+        assert rows[16]["PakMan*"] == "OOM"
+        assert rows[16]["HySortK"] == "OOM"
+        assert rows[16]["DAKC"] != "OOM"
+        assert rows[64]["PakMan*"] != "OOM"
+        assert rows[64]["HySortK"] == "OOM"
+
+    def test_fig11_1d_fastest(self):
+        r = run_experiment("fig11", budget=120_000, node_counts=[8])
+        row = r.tables[0][1][0]
+        assert float(row["2D/1D speedup"].rstrip("x")) <= 1.0
+        assert float(row["3D/1D speedup"].rstrip("x")) <= 1.0
+
+    def test_fig13_c2_flat_above_8(self):
+        r = run_experiment("fig13", budget=120_000)
+        c2_rows = {row["C2"]: row for row in r.tables[0][1]}
+        for c2 in (8, 16, 64, 128):
+            if c2 in c2_rows:
+                assert float(c2_rows[c2]["speedup vs C2=32"].rstrip("x")) > 0.9
+
+
+class TestHeadlineExperiments:
+    """Small-budget versions of the headline figures (shape only)."""
+
+    def test_fig10_dakc_ahead(self):
+        r = run_experiment("fig10", base_budget=40_000, node_counts=[1, 4, 8])
+        for row in r.tables[0][1]:
+            for col in ("DAKC vs HySortK", "DAKC vs PakMan*"):
+                if row[col] != "-":
+                    assert float(row[col].rstrip("x")) > 1.0
+
+    def test_fig7_dakc_fastest_at_limit(self):
+        r = run_experiment("fig7", budget=100_000, node_counts=[4, 16],
+                           datasets=["s-coelicolor"])
+        rows = {row["nodes"]: row for row in r.tables[0][1]}
+
+        def secs(cell):
+            value, unit = cell.split()
+            return float(value) * {"s": 1, "ms": 1e-3, "us": 1e-6, "ns": 1e-9}[unit]
+
+        assert secs(rows[16]["DAKC"]) < secs(rows[16]["PakMan*"])
+        assert secs(rows[16]["DAKC"]) < secs(rows[16]["HySortK"])
+        assert secs(rows[16]["DAKC"]) < secs(rows[4]["DAKC"])

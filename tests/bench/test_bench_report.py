@@ -1,0 +1,48 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import ExperimentResult, run_experiment
+from repro.bench.report import render_markdown, run_all, write_report
+
+
+@pytest.fixture(scope="module")
+def cheap_results():
+    return [run_experiment("table4"), run_experiment("fig5")]
+
+
+class TestRender:
+    def test_markdown_structure(self, cheap_results):
+        md = render_markdown(cheap_results, title="Test report")
+        assert md.startswith("# Test report")
+        assert "## table4:" in md
+        assert "## fig5:" in md
+        assert "| Parameter | Symbol | Value |" in md
+        assert "|---|---|---|" in md
+
+    def test_notes_quoted(self, cheap_results):
+        md = render_markdown(cheap_results)
+        assert "> Paper: compute share is very small" in md
+
+    def test_empty_rows(self):
+        result = ExperimentResult("x", "empty", [("T", [])])
+        assert "*(no rows)*" in render_markdown([result])
+
+
+class TestWrite:
+    def test_write_report_from_results(self, tmp_path, cheap_results):
+        out = write_report(tmp_path / "r.md", results=cheap_results)
+        text = out.read_text()
+        assert "table4" in text and "121.9" in text
+
+    def test_write_report_runs_experiments(self, tmp_path):
+        out = write_report(tmp_path / "r2.md", exp_ids=["table2", "table3"])
+        text = out.read_text()
+        assert "table2" in text and "table3" in text
+
+    def test_run_all_subset(self):
+        results = run_all(exp_ids=["table4"])
+        assert len(results) == 1
+        assert results[0].exp_id == "table4"

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.runtime.cost import CostModel
+from repro.runtime.machine import laptop, phoenix_intel
+from repro.seq.datasets import materialize
+from repro.seq.genomes import RepeatSpec, repeat_genome, uniform_genome
+from repro.seq.readsim import ReadSimConfig, simulate_reads
+
+# Keep hypothesis fast and deterministic in CI.
+settings.register_profile(
+    "repro",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_reads() -> np.ndarray:
+    """~200 reads x 100 bp from a 5 kb uniform genome (deterministic)."""
+    genome = uniform_genome(5_000, seed=7)
+    cfg = ReadSimConfig(read_len=100, n_reads=200, error_rate=0.0, seed=7)
+    return simulate_reads(genome, cfg)
+
+
+@pytest.fixture(scope="session")
+def tiny_reads() -> np.ndarray:
+    """~30 reads x 60 bp — small enough for exact-mode DAKC."""
+    genome = uniform_genome(1_500, seed=9)
+    cfg = ReadSimConfig(read_len=60, n_reads=30, error_rate=0.0, seed=9)
+    return simulate_reads(genome, cfg)
+
+
+@pytest.fixture(scope="session")
+def heavy_reads() -> np.ndarray:
+    """Reads from a repeat-laden genome (heavy-hitter k-mers)."""
+    genome = repeat_genome(4_000, RepeatSpec(fraction=0.25, n_tracts=2), seed=11)
+    cfg = ReadSimConfig(read_len=80, n_reads=300, error_rate=0.0, seed=11)
+    return simulate_reads(genome, cfg)
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    return materialize("synthetic-20", fidelity=2**-8, seed=3)
+
+
+@pytest.fixture
+def laptop_cost() -> CostModel:
+    """Fresh 2-node, 4-core-per-node machine (8 PEs)."""
+    return CostModel(laptop(nodes=2, cores=4))
+
+
+@pytest.fixture
+def phoenix_cost() -> CostModel:
+    """Phoenix Intel, 4 nodes, PE = node."""
+    m = phoenix_intel(4)
+    return CostModel(m, cores_per_pe=m.cores_per_node)

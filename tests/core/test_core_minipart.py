@@ -1,0 +1,98 @@
+"""Tests for the minimizer-partitioned counter (kmerind-style)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dakc import dakc_count
+from repro.core.minipart import MinimizerPartitionConfig, minimizer_partitioned_count
+from repro.core.serial import serial_count
+from repro.runtime.cost import CostModel
+from repro.runtime.machine import laptop
+
+
+def cost_model(p=8, nodes=2):
+    return CostModel(laptop(nodes=nodes, cores=p // nodes))
+
+
+class TestCorrectness:
+    def test_matches_serial(self, small_reads):
+        ref = serial_count(small_reads, 21)
+        got, stats = minimizer_partitioned_count(small_reads, 21, cost_model())
+        assert got == ref
+        assert stats.global_syncs == 3
+
+    def test_heavy_dataset(self, heavy_reads):
+        ref = serial_count(heavy_reads, 15)
+        got, _ = minimizer_partitioned_count(heavy_reads, 15, cost_model())
+        assert got == ref
+
+    @pytest.mark.parametrize("w", [5, 9, 15])
+    def test_minimizer_length_invariance(self, tiny_reads, w):
+        """Counting is invariant under the minimizer length (it only
+        changes routing, never counts)."""
+        ref = serial_count(tiny_reads, 15)
+        got, _ = minimizer_partitioned_count(
+            tiny_reads, 15, cost_model(p=4, nodes=2),
+            MinimizerPartitionConfig(minimizer_len=w),
+        )
+        assert got == ref
+
+    @pytest.mark.parametrize("p,nodes", [(1, 1), (4, 2), (12, 3)])
+    def test_pe_count_invariance(self, tiny_reads, p, nodes):
+        ref = serial_count(tiny_reads, 15)
+        got, _ = minimizer_partitioned_count(tiny_reads, 15,
+                                             cost_model(p=p, nodes=nodes))
+        assert got == ref
+
+    def test_list_input(self, tiny_reads):
+        ref = serial_count(tiny_reads, 15)
+        got, _ = minimizer_partitioned_count([r for r in tiny_reads], 15,
+                                             cost_model(p=4, nodes=2))
+        assert got == ref
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            MinimizerPartitionConfig(minimizer_len=0)
+        with pytest.raises(ValueError):
+            MinimizerPartitionConfig(header_bytes=-1)
+
+
+class TestTradeoff:
+    def test_wire_volume_beats_hash_partitioning(self, small_reads):
+        """The point of super-k-mers: much less data on the wire."""
+        _, s_min = minimizer_partitioned_count(small_reads, 31, cost_model())
+        _, s_hash = dakc_count(small_reads, 31, cost_model())
+        wire_min = s_min.total_bytes_sent + s_min.total("local_memcpy_bytes")
+        wire_hash = s_hash.total_bytes_sent + s_hash.total("local_memcpy_bytes")
+        assert wire_min < 0.6 * wire_hash
+
+    def test_load_balance_worse_than_hash(self, small_reads):
+        """The price: minimizer owners are hot."""
+        _, s_min = minimizer_partitioned_count(small_reads, 31,
+                                               cost_model(p=16, nodes=4))
+        _, s_hash = dakc_count(small_reads, 31, cost_model(p=16, nodes=4))
+        assert s_min.receive_imbalance() > s_hash.receive_imbalance()
+
+
+class TestCanonical:
+    def test_canonical_matches_serial(self, tiny_reads):
+        ref = serial_count(tiny_reads, 15, canonical=True)
+        got, _ = minimizer_partitioned_count(
+            tiny_reads, 15, cost_model(p=4, nodes=2), canonical=True
+        )
+        assert got == ref
+
+    def test_canonical_strand_colocation(self, tiny_reads):
+        """Both strands of a k-mer must land on one owner (exactness)."""
+        from repro.seq.alphabet import reverse_complement_str
+        from repro.seq.encoding import decode_codes, encode_seq
+
+        fwd = [r for r in tiny_reads]
+        rev = [encode_seq(reverse_complement_str(decode_codes(r))) for r in tiny_reads]
+        a, _ = minimizer_partitioned_count(fwd, 15, cost_model(p=4, nodes=2),
+                                           canonical=True)
+        b, _ = minimizer_partitioned_count(rev, 15, cost_model(p=4, nodes=2),
+                                           canonical=True)
+        assert a == b

@@ -1,0 +1,141 @@
+"""Tests for OwnerPE hashing and the KmerCounts result type."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.owner import owner_pe, owner_pe_scalar, partition_by_owner, splitmix64
+from repro.core.result import KmerCounts
+
+kmer_arrays = st.lists(
+    st.integers(min_value=0, max_value=2**64 - 1), min_size=0, max_size=300
+).map(lambda xs: np.array(xs, dtype=np.uint64))
+
+
+class TestSplitmix:
+    def test_known_vector(self):
+        """splitmix64(0) reference value from the published algorithm."""
+        assert splitmix64(0) == 0xE220A8397B1DCDAF
+
+    def test_scalar_matches_vector(self):
+        arr = np.array([0, 1, 12345, 2**63], dtype=np.uint64)
+        vec = splitmix64(arr)
+        for i, x in enumerate(arr.tolist()):
+            assert splitmix64(int(x)) == int(vec[i])
+
+    @given(kmer_arrays)
+    def test_deterministic(self, arr):
+        assert np.array_equal(splitmix64(arr), splitmix64(arr))
+
+    def test_avalanche(self):
+        """Nearby inputs spread across the 64-bit range."""
+        out = splitmix64(np.arange(10_000, dtype=np.uint64))
+        buckets = np.bincount((out >> np.uint64(56)).astype(np.int64), minlength=256)
+        assert buckets.min() > 0  # every top byte hit
+
+
+class TestOwnerPe:
+    @given(kmer_arrays, st.integers(1, 64))
+    def test_range(self, arr, p):
+        owners = owner_pe(arr, p)
+        if arr.size:
+            assert owners.min() >= 0 and owners.max() < p
+
+    def test_scalar_matches_vector(self):
+        arr = np.array([7, 42, 2**60], dtype=np.uint64)
+        vec = owner_pe(arr, 13)
+        for i, x in enumerate(arr.tolist()):
+            assert owner_pe_scalar(int(x), 13) == int(vec[i])
+
+    def test_deterministic_across_calls(self):
+        """Same k-mer, same owner — required for counting correctness."""
+        arr = np.full(100, 987654321, dtype=np.uint64)
+        assert len(set(owner_pe(arr, 17).tolist())) == 1
+
+    def test_roughly_balanced(self):
+        rng = np.random.default_rng(0)
+        arr = rng.integers(0, 2**63, size=100_000, dtype=np.uint64)
+        counts = np.bincount(owner_pe(arr, 16), minlength=16)
+        assert counts.max() / counts.min() < 1.1
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            owner_pe(np.array([1], dtype=np.uint64), 0)
+        with pytest.raises(ValueError):
+            owner_pe_scalar(1, 0)
+
+    @given(kmer_arrays, st.integers(1, 16))
+    def test_partition_complete(self, arr, p):
+        sorted_k, owners, bounds = partition_by_owner(arr, p)
+        assert bounds[0] == 0 and bounds[-1] == arr.size
+        assert Counter(sorted_k.tolist()) == Counter(arr.tolist())
+        for q in range(p):
+            chunk = sorted_k[bounds[q] : bounds[q + 1]]
+            if chunk.size:
+                assert (owner_pe(chunk, p) == q).all()
+
+
+class TestKmerCounts:
+    def make(self):
+        return KmerCounts(5, np.array([1, 5, 9], dtype=np.uint64),
+                          np.array([3, 1, 7], dtype=np.int64))
+
+    def test_invariants_enforced(self):
+        with pytest.raises(ValueError):  # not increasing
+            KmerCounts(5, np.array([5, 1], dtype=np.uint64), np.array([1, 1]))
+        with pytest.raises(ValueError):  # duplicate key
+            KmerCounts(5, np.array([1, 1], dtype=np.uint64), np.array([1, 1]))
+        with pytest.raises(ValueError):  # zero count
+            KmerCounts(5, np.array([1], dtype=np.uint64), np.array([0]))
+        with pytest.raises(ValueError):  # length mismatch
+            KmerCounts(5, np.array([1], dtype=np.uint64), np.array([1, 2]))
+
+    def test_queries(self):
+        kc = self.make()
+        assert kc.n_distinct == 3
+        assert kc.total == 11
+        assert kc.max_count == 7
+        assert kc.get(5) == 1
+        assert kc.get(4) == 0
+        assert 9 in kc and 2 not in kc
+        assert len(kc) == 3
+
+    def test_from_pairs_sums_duplicates(self):
+        kc = KmerCounts.from_pairs(
+            5, np.array([9, 1, 9], dtype=np.uint64), np.array([1, 2, 3], dtype=np.int64)
+        )
+        assert kc.get(9) == 4 and kc.get(1) == 2
+
+    def test_counter_roundtrip(self):
+        kc = self.make()
+        assert KmerCounts.from_counter(5, kc.to_counter()) == kc
+
+    def test_filter_min_count(self):
+        kc = self.make().filter_min_count(3)
+        assert kc.n_distinct == 2
+        assert 5 not in kc
+
+    def test_heavy_hitters(self):
+        hh = self.make().heavy_hitters(2)
+        assert hh.kmers.tolist() == [1, 9]
+
+    def test_spectrum(self):
+        spec = self.make().spectrum()
+        assert spec[1] == 1 and spec[3] == 1 and spec[7] == 1
+
+    def test_equality_and_diff(self):
+        a, b = self.make(), self.make()
+        assert a == b
+        c = KmerCounts(5, np.array([1], dtype=np.uint64), np.array([3], dtype=np.int64))
+        assert a != c
+        assert len(a.diff(c)) > 0
+        assert a.diff(KmerCounts(7, a.kmers, a.counts)) == ["k differs: 5 vs 7"]
+
+    def test_empty(self):
+        kc = KmerCounts.empty(31)
+        assert kc.total == 0 and kc.n_distinct == 0 and kc.max_count == 0

@@ -1,0 +1,48 @@
+"""Tests for host calibration (quick measurement sizes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.calibrate import (
+    calibrate_machine,
+    estimate_cache_bytes,
+    measure_int64_ops,
+    measure_memory_bandwidth,
+)
+
+
+class TestMicrobenchmarks:
+    def test_int64_ops_plausible(self):
+        ops = measure_int64_ops(size=1 << 16, repeats=2)
+        assert 1e7 < ops < 1e12  # between 10 MOp/s and 1 TOp/s
+
+    def test_memory_bandwidth_plausible(self):
+        bw = measure_memory_bandwidth(size=1 << 22, repeats=2)
+        assert 1e8 < bw < 1e13
+
+    def test_cache_estimate_within_range(self):
+        cache = estimate_cache_bytes(sizes=[1 << 14, 1 << 18, 1 << 22], repeats=1)
+        assert 1 << 14 <= cache <= 1 << 22
+
+
+class TestCalibrateMachine:
+    def test_produces_usable_machine(self):
+        result = calibrate_machine(cores=4, quick=True)
+        m = result.machine
+        assert m.n_pes == 4
+        assert m.c_node == pytest.approx(result.int64_ops * 4)
+        assert m.beta_mem == result.memory_bandwidth
+        assert m.cache_bytes == result.cache_bytes
+        # NIC parameters inherited, not fabricated.
+        assert m.beta_link == pytest.approx(12.5e9)
+
+    def test_calibrated_machine_runs_a_count(self, tiny_reads):
+        from repro.core.dakc import dakc_count
+        from repro.core.serial import serial_count
+        from repro.runtime.cost import CostModel
+
+        result = calibrate_machine(cores=2, quick=True)
+        kc, stats = dakc_count(tiny_reads, 9, CostModel(result.machine))
+        assert kc == serial_count(tiny_reads, 9)
+        assert stats.sim_time > 0

@@ -1,0 +1,126 @@
+"""Hypothesis property tests over the runtime substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.cost import CostModel
+from repro.runtime.machine import laptop, phoenix_intel
+from repro.runtime.stats import PEStats
+
+
+jobs_strategy = st.lists(
+    st.tuples(st.floats(0, 100, allow_nan=False), st.floats(0, 10, allow_nan=False)),
+    max_size=30,
+)
+
+
+class TestBusyPeriod:
+    @given(st.floats(0, 50, allow_nan=False), jobs_strategy)
+    def test_lower_bounds(self, start, jobs):
+        """finish >= start, >= every arrival, >= start + total service."""
+        finish = CostModel.busy_period(start, jobs)
+        assert finish >= start
+        total_service = sum(s for _, s in jobs)
+        assert finish >= start + total_service - 1e-9
+        for arrival, service in jobs:
+            assert finish >= arrival + service - 1e-9
+
+    @given(st.floats(0, 50, allow_nan=False), jobs_strategy)
+    def test_order_invariance(self, start, jobs):
+        """The queue serves in arrival order regardless of list order."""
+        import random
+
+        shuffled = jobs.copy()
+        random.Random(0).shuffle(shuffled)
+        assert CostModel.busy_period(start, jobs) == pytest.approx(
+            CostModel.busy_period(start, shuffled)
+        )
+
+    @given(jobs_strategy)
+    def test_monotone_in_start(self, jobs):
+        a = CostModel.busy_period(0.0, jobs)
+        b = CostModel.busy_period(5.0, jobs)
+        assert b >= a
+
+
+class TestChargingProperties:
+    @given(st.integers(1, 10**9))
+    def test_compute_linear(self, ops):
+        cost = CostModel(laptop())
+        pe = PEStats(0)
+        dt1 = cost.charge_compute(pe, ops)
+        dt2 = cost.charge_compute(pe, 2 * ops)
+        assert dt2 == pytest.approx(2 * dt1)
+
+    @given(st.integers(0, 10**9))
+    def test_put_arrival_after_sender_clock(self, nbytes):
+        m = laptop(nodes=2, cores=2)
+        cost = CostModel(m)
+        pe = PEStats(0)
+        arrival = cost.charge_put(pe, 2, nbytes)  # remote
+        assert arrival >= pe.clock  # latency only delays arrival
+        assert arrival == pytest.approx(pe.clock + m.tau)
+
+    @given(st.integers(1, 24))
+    def test_aggregate_rates_granularity_invariant(self, cores_per_pe):
+        """Total machine throughput is the same however PEs slice it."""
+        m = phoenix_intel(2)
+        if m.cores_per_node % cores_per_pe:
+            return
+        cost = CostModel(m, cores_per_pe=cores_per_pe)
+        assert cost.pe_ops * cost.n_pes == pytest.approx(m.c_node * m.nodes)
+        assert cost.pe_mem_bw * cost.n_pes == pytest.approx(m.beta_mem * m.nodes)
+
+
+class TestTopologyProperties:
+    @given(st.sampled_from(["1D", "2D", "3D"]), st.integers(1, 150))
+    def test_neighbor_symmetry(self, proto, p):
+        """u in neighbors(v) iff v in neighbors(u) (sampled)."""
+        from repro.runtime.topology import make_topology
+
+        topo = make_topology(proto, p)
+        rng = np.random.default_rng(p)
+        for _ in range(5):
+            u = int(rng.integers(p))
+            for v in topo.neighbors(u)[:4]:
+                assert u in topo.neighbors(v), (proto, p, u, v)
+
+    @given(st.sampled_from(["2D", "3D"]), st.integers(2, 120))
+    def test_first_hop_is_neighbor_mostly(self, proto, p):
+        """Routes leave via buffered neighbours (modulo ragged corners)."""
+        from repro.runtime.topology import make_topology
+
+        topo = make_topology(proto, p)
+        rng = np.random.default_rng(p + 1)
+        ok = 0
+        total = 0
+        for _ in range(10):
+            src, dst = int(rng.integers(p)), int(rng.integers(p))
+            route = topo.route(src, dst)
+            if route:
+                total += 1
+                if route[0] in topo.neighbors(src) or route[0] == dst:
+                    ok += 1
+        if total:
+            assert ok / total >= 0.9
+
+
+class TestClockInvariants:
+    @given(st.integers(0, 2**31), st.integers(2, 8))
+    @settings(max_examples=15)
+    def test_sim_time_monotone_in_work(self, seed, nodes):
+        """More k-mers can never make the simulated run faster."""
+        from repro.core.dakc import dakc_count
+
+        rng = np.random.default_rng(seed)
+        small = rng.integers(0, 4, (20, 40)).astype(np.uint8)
+        big = np.vstack([small, rng.integers(0, 4, (60, 40)).astype(np.uint8)])
+        cost_a = CostModel(laptop(nodes=nodes, cores=2))
+        cost_b = CostModel(laptop(nodes=nodes, cores=2))
+        _, s_small = dakc_count(small, 11, cost_a)
+        _, s_big = dakc_count(big, 11, cost_b)
+        assert s_big.sim_time >= s_small.sim_time

@@ -1,0 +1,134 @@
+"""Tests for the 1D/2D/3D virtual topologies (Table II)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.topology import (
+    HEADER_BYTES,
+    Topology1D,
+    Topology2D,
+    Topology3D,
+    make_topology,
+)
+
+ps = st.integers(min_value=1, max_value=200)
+protos = st.sampled_from(["1D", "2D", "3D"])
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_topology("1d", 4).name == "1D"
+        assert make_topology("2D", 4).name == "2D"
+        assert make_topology("3d", 4).name == "3D"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_topology("4D", 4)
+
+    def test_header_flags(self):
+        """Only 2D/3D need the 32-bit destination header (Sec. IV-C)."""
+        assert not make_topology("1D", 16).needs_header
+        assert make_topology("2D", 16).needs_header
+        assert make_topology("3D", 16).needs_header
+        assert HEADER_BYTES == 4
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ValueError):
+            Topology1D(0)
+
+
+@given(protos, ps, st.data())
+def test_routes_terminate_at_destination(proto, p, data):
+    topo = make_topology(proto, p)
+    src = data.draw(st.integers(0, p - 1))
+    dst = data.draw(st.integers(0, p - 1))
+    route = topo.route(src, dst)
+    if src == dst:
+        assert route == []
+    else:
+        assert route[-1] == dst
+        assert len(route) <= topo.max_hops
+        assert src not in route
+
+
+@given(protos, ps)
+def test_hop_bounds_table2(proto, p):
+    """Table II: 1D <= 1 hop, 2D <= 2 hops, 3D <= 3 hops."""
+    topo = make_topology(proto, p)
+    limit = {"1D": 1, "2D": 2, "3D": 3}[proto]
+    step = max(1, p // 7)
+    for src in range(0, p, step):
+        for dst in range(0, p, step):
+            assert topo.hop_count(src, dst) <= limit
+
+
+class TestBufferScaling:
+    def test_1d_all_connected(self):
+        t = Topology1D(64)
+        assert t.buffers_per_pe() == 63
+        assert t.total_buffers() == 64 * 63  # O(P^2)
+
+    def test_2d_sqrt_scaling(self):
+        t = Topology2D(64)  # 8x8 grid
+        assert t.buffers_per_pe(0) == 14  # 7 row + 7 column
+        assert t.total_buffers() == 64 * 14  # O(P^(3/2))
+
+    def test_3d_cbrt_scaling(self):
+        t = Topology3D(64)  # 4x4x4 cube
+        assert t.buffers_per_pe(0) == 9  # 3 per axis
+        assert t.total_buffers() == 64 * 9  # O(P^(4/3))
+
+    def test_memory_ordering(self):
+        """Table II: 1D > 2D > 3D total buffer memory at scale."""
+        for p in (64, 256, 1000):
+            b1 = make_topology("1D", p).total_buffers()
+            b2 = make_topology("2D", p).total_buffers()
+            b3 = make_topology("3D", p).total_buffers()
+            assert b1 > b2 > b3
+
+
+class Test2DRouting:
+    def test_same_row_single_hop(self):
+        t = Topology2D(16)  # 4x4
+        assert t.route(0, 3) == [3]
+
+    def test_same_column_single_hop(self):
+        t = Topology2D(16)
+        assert t.route(0, 12) == [12]
+
+    def test_off_axis_two_hops_via_relay(self):
+        t = Topology2D(16)
+        route = t.route(0, 5)  # (0,0) -> (1,1)
+        assert len(route) == 2
+        relay = route[0]
+        r, c = t.coords(relay)
+        # Relay shares src's row and dst's column (or the mirror).
+        assert (r, c) in ((0, 1), (1, 0))
+
+    def test_relay_is_neighbor(self):
+        t = Topology2D(49)
+        for src, dst in ((0, 48), (5, 30), (10, 41)):
+            route = t.route(src, dst)
+            if len(route) == 2:
+                assert route[0] in t.neighbors(src)
+                assert dst in t.neighbors(route[0])
+
+
+class Test3DRouting:
+    def test_axis_by_axis(self):
+        t = Topology3D(27)  # 3x3x3
+        route = t.route(0, 26)
+        assert len(route) == 3
+        assert route[-1] == 26
+
+    def test_coords_roundtrip(self):
+        t = Topology3D(27)
+        for pe in range(27):
+            assert t.pe_at(*t.coords(pe)) == pe
+
+    def test_single_pe(self):
+        t = Topology3D(1)
+        assert t.route(0, 0) == []

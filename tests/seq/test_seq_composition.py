@@ -1,0 +1,91 @@
+"""Tests for read-set composition statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.seq.composition import (
+    base_composition,
+    dust_score,
+    gc_content,
+    per_position_composition,
+    quality_profile,
+    summarize_reads,
+)
+from repro.seq.encoding import encode_seq
+from repro.seq.fastx import SeqRecord
+
+
+class TestComposition:
+    def test_base_composition_known(self):
+        comp = base_composition([encode_seq("AACG")])
+        assert comp.tolist() == [0.5, 0.25, 0.25, 0.0]
+
+    def test_gc_content(self):
+        assert gc_content([encode_seq("GGCC")]) == 1.0
+        assert gc_content([encode_seq("AATT")]) == 0.0
+        assert gc_content([encode_seq("ACGT")]) == 0.5
+
+    def test_uniform_reads_near_quarter(self, small_reads):
+        comp = base_composition(small_reads)
+        assert np.allclose(comp, 0.25, atol=0.03)
+
+    def test_empty(self):
+        assert base_composition([]).tolist() == [0.0] * 4
+        assert gc_content([]) == 0.0
+
+    def test_per_position(self):
+        reads = np.array([encode_seq("AAAA"), encode_seq("CCCC")])
+        out = per_position_composition(reads)
+        assert out.shape == (4, 4)
+        assert np.allclose(out[:, 0], 0.5)  # half A at each cycle
+        assert np.allclose(out[:, 1], 0.5)
+
+    def test_per_position_needs_matrix(self):
+        with pytest.raises(ValueError):
+            per_position_composition(np.zeros(5, dtype=np.uint8))
+
+
+class TestQualityProfile:
+    def test_mean_per_cycle(self):
+        recs = [SeqRecord("a", "ACGT", "IIII"), SeqRecord("b", "AC", "!!")]
+        prof = quality_profile(recs)
+        assert prof.size == 4
+        assert prof[0] == pytest.approx(20.0)  # (40 + 0) / 2
+        assert prof[2] == pytest.approx(40.0)  # only read a reaches cycle 3
+
+    def test_empty(self):
+        assert quality_profile([]).size == 0
+
+
+class TestDust:
+    def test_mononucleotide_run_scores_high(self):
+        assert dust_score(encode_seq("A" * 60)) > 0.9
+
+    def test_diverse_sequence_scores_low(self):
+        rng = np.random.default_rng(0)
+        seq = rng.integers(0, 4, 200).astype(np.uint8)
+        assert dust_score(seq) < 0.05
+
+    def test_tandem_repeat_intermediate(self):
+        score = dust_score(encode_seq("ACG" * 30))
+        assert 0.2 < score <= 1.0
+
+    def test_too_short(self):
+        assert dust_score(encode_seq("AC")) == 0.0
+
+
+class TestSummary:
+    def test_summary_fields(self, small_reads):
+        s = summarize_reads(small_reads)
+        assert s.n_reads == small_reads.shape[0]
+        assert s.total_bases == small_reads.size
+        assert s.mean_read_length == small_reads.shape[1]
+        assert 0.4 < s.gc < 0.6
+        assert sum(s.composition) == pytest.approx(1.0)
+        assert s.mean_dust < 0.1  # uniform genome reads
+
+    def test_summary_empty(self):
+        s = summarize_reads([])
+        assert s.n_reads == 0 and s.total_bases == 0

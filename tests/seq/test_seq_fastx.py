@@ -1,0 +1,135 @@
+"""Tests for FASTA/FASTQ I/O."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.seq.fastx import (
+    SeqRecord,
+    read_fasta,
+    read_fastq,
+    read_fastx,
+    sniff_format,
+    write_fasta,
+    write_fastq,
+)
+
+
+@pytest.fixture
+def records():
+    return [
+        SeqRecord("r1", "ACGTACGT", "IIIIIIII"),
+        SeqRecord("r2", "TTTT", "!!!!"),
+        SeqRecord("r3", "G", "#"),
+    ]
+
+
+class TestFasta:
+    def test_roundtrip(self, tmp_path, records):
+        path = tmp_path / "x.fasta"
+        assert write_fasta(path, records) == 3
+        back = list(read_fasta(path))
+        assert [(r.name, r.seq) for r in back] == [(r.name, r.seq) for r in records]
+
+    def test_multiline_sequences(self, tmp_path, records):
+        path = tmp_path / "wrapped.fasta"
+        write_fasta(path, records, line_width=3)
+        back = list(read_fasta(path))
+        assert back[0].seq == "ACGTACGT"
+
+    def test_header_with_description(self):
+        fh = io.StringIO(">read1 extra stuff\nACGT\n")
+        (rec,) = read_fasta(fh)
+        assert rec.name == "read1"
+
+    def test_missing_header(self):
+        fh = io.StringIO("ACGT\n")
+        with pytest.raises(ValueError, match="does not start"):
+            list(read_fasta(fh))
+
+    def test_blank_lines_skipped(self):
+        fh = io.StringIO(">a\nAC\n\nGT\n\n>b\nTT\n")
+        recs = list(read_fasta(fh))
+        assert recs[0].seq == "ACGT"
+        assert recs[1].seq == "TT"
+
+
+class TestFastq:
+    def test_roundtrip(self, tmp_path, records):
+        path = tmp_path / "x.fastq"
+        assert write_fastq(path, records) == 3
+        back = list(read_fastq(path))
+        assert [(r.name, r.seq, r.qual) for r in back] == [
+            (r.name, r.seq, r.qual) for r in records
+        ]
+
+    def test_default_quality(self, tmp_path):
+        path = tmp_path / "q.fastq"
+        write_fastq(path, [SeqRecord("a", "ACGT")])
+        (rec,) = read_fastq(path)
+        assert rec.qual == "IIII"
+
+    def test_malformed_header(self):
+        fh = io.StringIO("ACGT\nACGT\n+\nIIII\n")
+        with pytest.raises(ValueError, match="malformed FASTQ header"):
+            list(read_fastq(fh))
+
+    def test_malformed_separator(self):
+        fh = io.StringIO("@a\nACGT\nIIII\nIIII\n")
+        with pytest.raises(ValueError, match="separator"):
+            list(read_fastq(fh))
+
+    def test_quality_length_mismatch(self):
+        fh = io.StringIO("@a\nACGT\n+\nII\n")
+        with pytest.raises(ValueError, match="quality length"):
+            list(read_fastq(fh))
+
+    def test_write_quality_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fastq(tmp_path / "bad.fastq", [SeqRecord("a", "ACGT", "II")])
+
+
+class TestSniff:
+    def test_dispatch(self, tmp_path, records):
+        fa = tmp_path / "a.txt"
+        fq = tmp_path / "b.txt"
+        write_fasta(fa, records)
+        write_fastq(fq, records)
+        assert sniff_format(fa) == "fasta"
+        assert sniff_format(fq) == "fastq"
+        assert len(list(read_fastx(fa))) == 3
+        assert len(list(read_fastx(fq))) == 3
+
+    def test_unknown_format(self, tmp_path):
+        p = tmp_path / "junk.txt"
+        p.write_text("hello world\n")
+        with pytest.raises(ValueError):
+            sniff_format(p)
+
+
+class TestRobustness:
+    def test_crlf_fasta(self, tmp_path):
+        """Windows line endings must not leak \\r into sequences."""
+        p = tmp_path / "crlf.fasta"
+        p.write_bytes(b">r1\r\nACGT\r\nACGT\r\n>r2\r\nTTTT\r\n")
+        recs = list(read_fasta(p))
+        assert recs[0].seq == "ACGTACGT"
+        assert recs[1].seq == "TTTT"
+
+    def test_crlf_fastq(self, tmp_path):
+        p = tmp_path / "crlf.fastq"
+        p.write_bytes(b"@r1\r\nACGT\r\n+\r\nIIII\r\n")
+        (rec,) = list(read_fastq(p))
+        assert rec.seq == "ACGT" and rec.qual == "IIII"
+
+    def test_crlf_roundtrip_counting(self, tmp_path):
+        from repro.core.serial import serial_count
+        from repro.seq.encoding import encode_seq
+
+        p = tmp_path / "crlf2.fastq"
+        p.write_bytes(b"@a\r\nACGTACGT\r\n+\r\nIIIIIIII\r\n")
+        (rec,) = list(read_fastq(p))
+        kc = serial_count([encode_seq(rec.seq)], 4)
+        assert kc.total == 5

@@ -1,0 +1,112 @@
+"""Tests for minimizers and super-k-mer splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.owner import splitmix64
+from repro.seq.encoding import encode_seq
+from repro.seq.kmers import extract_kmers
+from repro.seq.minimizers import (
+    minimizers_of_kmers,
+    read_minimizers,
+    split_superkmers,
+    superkmer_compression_ratio,
+)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+
+
+def oracle_minimizer(kmer: int, k: int, w: int) -> int:
+    """Scalar reference: hash-minimal w-mer of one k-mer."""
+    wmask = (1 << (2 * w)) - 1
+    wmers = [(kmer >> (2 * j)) & wmask for j in range(k - w + 1)]
+    return min(wmers, key=lambda x: splitmix64(x))
+
+
+class TestMinimizers:
+    @given(dna.filter(lambda s: len(s) >= 21))
+    def test_matches_scalar_oracle(self, seq):
+        k, w = 21, 7
+        kmers = extract_kmers(encode_seq(seq), k)
+        mins = minimizers_of_kmers(kmers, k, w)
+        for i in range(0, kmers.size, max(1, kmers.size // 5)):
+            assert int(mins[i]) == oracle_minimizer(int(kmers[i]), k, w)
+
+    def test_w_equals_k_identity(self):
+        kmers = np.array([5, 77], dtype=np.uint64)
+        assert np.array_equal(minimizers_of_kmers(kmers, 5, 5), kmers)
+
+    def test_bounds(self):
+        kmers = np.array([1], dtype=np.uint64)
+        with pytest.raises(ValueError):
+            minimizers_of_kmers(kmers, 5, 6)
+        with pytest.raises(ValueError):
+            minimizers_of_kmers(kmers, 5, 0)
+
+    def test_read_minimizers_short_read(self):
+        assert read_minimizers(encode_seq("ACG"), 5, 3).size == 0
+
+
+class TestSuperKmers:
+    @given(dna, st.integers(10, 31))
+    def test_partition_covers_all_kmers(self, seq, k):
+        """Super-k-mers partition the read's k-mers exactly."""
+        w = 7
+        if k < w or len(seq) < k:
+            return
+        codes = encode_seq(seq)
+        sks = split_superkmers(codes, k, w)
+        n_kmers = len(seq) - k + 1
+        assert sum(sk.n_kmers(k) for sk in sks) == n_kmers
+        # Contiguity: runs tile the window index space.
+        pos = 0
+        for sk in sks:
+            assert sk.start == pos
+            pos += sk.n_kmers(k)
+
+    @given(dna, st.integers(10, 31))
+    def test_minimizer_constant_within_superkmer(self, seq, k):
+        w = 7
+        if k < w or len(seq) < k:
+            return
+        codes = encode_seq(seq)
+        mins = read_minimizers(codes, k, w)
+        for sk in split_superkmers(codes, k, w):
+            run = mins[sk.start : sk.start + sk.n_kmers(k)]
+            assert (run == np.uint64(sk.minimizer)).all()
+
+    def test_substring_reconstruction(self):
+        """A super-k-mer's bases re-extract to exactly its k-mer run."""
+        seq = "ACGTTGCAATCGGATTACAGGCAT"
+        k, w = 11, 5
+        codes = encode_seq(seq)
+        all_kmers = extract_kmers(codes, k)
+        pos = 0
+        for sk in split_superkmers(codes, k, w):
+            sub = codes[sk.start : sk.start + sk.n_bases]
+            got = extract_kmers(sub, k)
+            assert np.array_equal(got, all_kmers[pos : pos + sk.n_kmers(k)])
+            pos += sk.n_kmers(k)
+
+    def test_few_superkmers_per_read(self, small_reads):
+        """The whole point: far fewer super-k-mers than k-mers."""
+        k, w = 21, 9
+        total_kmers = 0
+        total_sks = 0
+        for row in small_reads[:40]:
+            sks = split_superkmers(row, k, w)
+            total_sks += len(sks)
+            total_kmers += sum(sk.n_kmers(k) for sk in sks)
+        assert total_sks < total_kmers / 3
+
+    def test_compression_ratio_above_one(self, small_reads):
+        ratio = superkmer_compression_ratio(small_reads[:40], 31, 9)
+        assert ratio > 2.0  # packed super-k-mers beat raw 8B k-mers
+
+    def test_empty_read(self):
+        assert split_superkmers(encode_seq(""), 11, 5) == []
+        assert superkmer_compression_ratio([encode_seq("")], 11, 5) == 1.0

@@ -1,0 +1,116 @@
+"""Tests for FASTQ quality handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.seq.fastx import SeqRecord
+from repro.seq.kmers import extract_kmers
+from repro.seq.quality import (
+    decode_phred,
+    encode_phred,
+    expected_errors,
+    mask_low_quality,
+    mean_quality,
+    prepare_reads,
+    trim_record,
+)
+
+phred_scores = st.lists(st.integers(0, 60), min_size=0, max_size=100)
+
+
+class TestPhred:
+    def test_known_values(self):
+        assert decode_phred("!").tolist() == [0]
+        assert decode_phred("I").tolist() == [40]
+
+    @given(phred_scores)
+    def test_roundtrip(self, scores):
+        arr = np.array(scores, dtype=np.int16)
+        assert np.array_equal(decode_phred(encode_phred(arr)), arr)
+
+    def test_below_range_rejected(self):
+        with pytest.raises(ValueError):
+            decode_phred(" ")  # ord 32 < 33
+
+    def test_encode_range_check(self):
+        with pytest.raises(ValueError):
+            encode_phred(np.array([94]))
+
+    def test_mean_quality(self):
+        assert mean_quality("II") == 40.0
+        assert mean_quality("") == 0.0
+
+    def test_expected_errors(self):
+        # Q20 -> 1% error probability per base.
+        q20 = encode_phred(np.array([20] * 100))
+        assert expected_errors(q20) == pytest.approx(1.0)
+
+
+class TestTrim:
+    def test_trims_bad_ends(self):
+        qual = encode_phred(np.array([2, 2, 35, 35, 35, 2]))
+        rec = SeqRecord("r", "ACGTAC", qual)
+        out = trim_record(rec, min_quality=20)
+        assert out.seq == "GTA"
+        assert len(out.qual) == 3
+
+    def test_all_bad_returns_none(self):
+        qual = encode_phred(np.array([2, 2, 2]))
+        assert trim_record(SeqRecord("r", "ACG", qual), min_quality=20) is None
+
+    def test_min_length(self):
+        qual = encode_phred(np.array([2, 35, 2]))
+        assert trim_record(SeqRecord("r", "ACG", qual), min_quality=20,
+                           min_length=2) is None
+
+    def test_no_quality_passthrough(self):
+        rec = SeqRecord("r", "ACGT")
+        assert trim_record(rec) is rec
+
+    def test_good_read_untouched(self):
+        qual = "I" * 8
+        rec = SeqRecord("r", "ACGTACGT", qual)
+        out = trim_record(rec, min_quality=20)
+        assert out.seq == rec.seq
+
+
+class TestMask:
+    def test_masks_low_quality_positions(self):
+        qual = encode_phred(np.array([40, 2, 40, 40]))
+        out = mask_low_quality(SeqRecord("r", "ACGT", qual), min_quality=10)
+        assert out.seq == "ANGT"
+
+    def test_masked_kmers_skipped_downstream(self):
+        """k-mers spanning a masked base vanish from the counts."""
+        qual = encode_phred(np.array([40] * 4 + [2] + [40] * 4))
+        rec = mask_low_quality(SeqRecord("r", "ACGTACGTA", qual), min_quality=10)
+        from repro.seq.encoding import encode_seq
+
+        kmers = extract_kmers(encode_seq(rec.seq, validate=False), 3)
+        # Windows over positions 2..6 are gone: 7 -> 4 k-mers.
+        assert kmers.size == 4
+
+
+class TestPrepare:
+    def test_pipeline(self):
+        recs = [
+            SeqRecord("good", "ACGTACGTACGT", "I" * 12),
+            SeqRecord("bad", "ACGTACGTACGT", "!" * 12),
+            SeqRecord("mixed", "ACGTACGTACGT", "!!" + "I" * 10),
+        ]
+        out = prepare_reads(recs, min_quality=20, min_length=5)
+        assert len(out) == 2  # 'bad' dropped
+        assert out[0].size == 12
+        assert out[1].size == 10  # 'mixed' trimmed
+
+    def test_counting_after_prepare(self):
+        from repro.core.serial import serial_count
+
+        recs = [SeqRecord(f"r{i}", "ACGTACGTAC", "I" * 10) for i in range(5)]
+        encoded = prepare_reads(recs, min_length=5)
+        kc = serial_count(encoded, 5)
+        assert kc.total == 5 * 6

@@ -1,0 +1,130 @@
+"""Tests for byte-range FASTX sharding (distributed input splitting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seq.fastx import SeqRecord, write_fasta, write_fastq
+from repro.seq.quality import encode_phred
+from repro.seq.sharding import compute_shards, count_records, read_shard, shard_fastq
+
+
+def make_fastq(tmp_path, records, name="x.fastq"):
+    path = tmp_path / name
+    write_fastq(path, records)
+    return path
+
+
+def random_records(rng, n, min_len=1, max_len=80):
+    out = []
+    for i in range(n):
+        length = int(rng.integers(min_len, max_len + 1))
+        seq = "".join("ACGT"[c] for c in rng.integers(0, 4, length))
+        qual = encode_phred(rng.integers(0, 42, length))
+        out.append(SeqRecord(f"read{i}", seq, qual))
+    return out
+
+
+class TestFastqSharding:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 7, 16])
+    def test_partition_exact(self, tmp_path, n_shards):
+        rng = np.random.default_rng(0)
+        records = random_records(rng, 50)
+        path = make_fastq(tmp_path, records)
+        shards = shard_fastq(path, n_shards)
+        assert len(shards) == n_shards
+        flat = [r for shard in shards for r in shard]
+        assert [(r.name, r.seq, r.qual) for r in flat] == [
+            (r.name, r.seq, r.qual) for r in records
+        ]
+
+    def test_at_signs_in_quality_do_not_confuse_alignment(self, tmp_path):
+        """'@' is a legal quality character (Phred 31) — the classic
+        FASTQ-splitting trap."""
+        records = [
+            SeqRecord(f"r{i}", "ACGTACGT", "@@@@@@@@") for i in range(30)
+        ]
+        path = make_fastq(tmp_path, records)
+        for n in (2, 3, 5):
+            flat = [r for shard in shard_fastq(path, n) for r in shard]
+            assert len(flat) == 30
+            assert all(r.qual == "@@@@@@@@" for r in flat)
+
+    def test_plus_lines_in_quality(self, tmp_path):
+        records = [SeqRecord(f"r{i}", "ACGT", "++++") for i in range(20)]
+        path = make_fastq(tmp_path, records)
+        flat = [r for shard in shard_fastq(path, 4) for r in shard]
+        assert len(flat) == 20
+
+    def test_more_shards_than_records(self, tmp_path):
+        records = random_records(np.random.default_rng(1), 3)
+        path = make_fastq(tmp_path, records)
+        shards = shard_fastq(path, 10)
+        flat = [r for shard in shards for r in shard]
+        assert len(flat) == 3
+
+    def test_shard_metadata(self, tmp_path):
+        records = random_records(np.random.default_rng(2), 40)
+        path = make_fastq(tmp_path, records)
+        shards = compute_shards(path, 4)
+        assert shards[0].start == 0
+        assert shards[-1].end == path.stat().st_size
+        for a, b in zip(shards, shards[1:]):
+            assert a.end == b.start  # contiguous, no gaps or overlap
+
+    def test_invalid_shard_count(self, tmp_path):
+        path = make_fastq(tmp_path, random_records(np.random.default_rng(3), 2))
+        with pytest.raises(ValueError):
+            compute_shards(path, 0)
+
+    @given(st.integers(1, 12), st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_property_no_loss(self, n_shards, seed):
+        import tempfile
+        from pathlib import Path
+
+        rng = np.random.default_rng(seed)
+        records = random_records(rng, int(rng.integers(1, 60)))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "p.fastq"
+            write_fastq(path, records)
+            flat = [r for shard in shard_fastq(path, n_shards) for r in shard]
+            assert len(flat) == len(records) == count_records(path)
+
+
+class TestFastaSharding:
+    def test_partition_exact(self, tmp_path):
+        rng = np.random.default_rng(5)
+        records = [
+            SeqRecord(f"seq{i}", "".join("ACGT"[c] for c in rng.integers(0, 4, 120)))
+            for i in range(25)
+        ]
+        path = tmp_path / "x.fasta"
+        write_fasta(path, records, line_width=50)
+        shards = compute_shards(path, 4)
+        flat = [r for s in shards for r in read_shard(path, s)]
+        assert [(r.name, r.seq) for r in flat] == [(r.name, r.seq) for r in records]
+
+
+class TestEndToEnd:
+    def test_sharded_counting_equals_whole_file(self, tmp_path, small_reads):
+        """Distributed-input pipeline: shard -> per-rank count -> merge
+        equals counting the whole file serially."""
+        from repro.apps.setops import union
+        from repro.core.serial import serial_count
+        from repro.seq.encoding import encode_seq
+        from repro.seq.readsim import reads_to_records
+
+        path = make_fastq(tmp_path, reads_to_records(small_reads))
+        whole = serial_count(small_reads, 17)
+        partials = []
+        for shard_records in shard_fastq(path, 5):
+            encoded = [encode_seq(r.seq) for r in shard_records]
+            partials.append(serial_count(encoded, 17))
+        merged = partials[0]
+        for part in partials[1:]:
+            merged = union(merged, part)
+        assert merged == whole

@@ -1,0 +1,137 @@
+"""Tests for the public count_kmers API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import count_kmers
+from repro.api import ALGORITHMS, load_reads, resolve_machine
+from repro.core.serial import serial_count
+from repro.runtime.machine import phoenix_amd, phoenix_intel
+from repro.seq.datasets import materialize
+from repro.seq.encoding import encode_seq
+from repro.seq.fastx import SeqRecord, write_fastq
+from repro.seq.readsim import reads_to_records
+
+
+class TestLoadReads:
+    def test_matrix_passthrough(self, small_reads):
+        assert load_reads(small_reads) is small_reads
+
+    def test_strings_packed_to_matrix(self):
+        out = load_reads(["ACGT", "TTTT"])
+        assert isinstance(out, np.ndarray) and out.shape == (2, 4)
+
+    def test_ragged_strings_stay_list(self):
+        out = load_reads(["ACGT", "AC"])
+        assert isinstance(out, list) and len(out) == 2
+
+    def test_workload(self, small_workload):
+        assert load_reads(small_workload) is small_workload.reads
+
+    def test_fastx_path(self, tmp_path, small_reads):
+        path = tmp_path / "reads.fastq"
+        write_fastq(path, reads_to_records(small_reads[:10]))
+        out = load_reads(str(path))
+        assert len(out) == 10
+
+    def test_invalid_source(self):
+        with pytest.raises(TypeError):
+            load_reads(42)
+
+    def test_1d_array_rejected(self):
+        with pytest.raises(ValueError):
+            load_reads(np.zeros(10, dtype=np.uint8))
+
+
+class TestResolveMachine:
+    def test_default_is_phoenix(self):
+        m = resolve_machine(None, 4)
+        assert m.name == "phoenix-intel" and m.nodes == 4
+
+    def test_presets(self):
+        assert resolve_machine("phoenix-amd", 2).cores_per_node == 128
+        assert resolve_machine("laptop").nodes == 1
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            resolve_machine("cray")
+
+    def test_config_with_node_override(self):
+        m = resolve_machine(phoenix_intel(1), 16)
+        assert m.nodes == 16
+
+
+class TestCountKmers:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_algorithms_agree(self, small_reads, algorithm):
+        ref = serial_count(small_reads, 21)
+        run = count_kmers(small_reads, 21, algorithm=algorithm,
+                          machine="laptop", nodes=2)
+        assert run.counts == ref, run.counts.diff(ref)
+        assert run.algorithm == algorithm
+
+    def test_unknown_algorithm(self, small_reads):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            count_kmers(small_reads, 21, algorithm="xyz")
+
+    def test_granularities(self, tiny_reads):
+        ref = serial_count(tiny_reads, 9)
+        for gran in ("node", "socket", "core"):
+            run = count_kmers(tiny_reads, 9, algorithm="dakc",
+                              machine="laptop", nodes=2, pe_granularity=gran)
+            assert run.counts == ref
+
+    def test_invalid_granularity(self, tiny_reads):
+        with pytest.raises(ValueError, match="pe_granularity"):
+            count_kmers(tiny_reads, 9, pe_granularity="die")
+
+    def test_string_input(self):
+        run = count_kmers(["AAAA"], 2, algorithm="serial")
+        assert run.counts.get(0) == 3
+
+    def test_canonical_flag(self, tiny_reads):
+        want = serial_count(tiny_reads, 9, canonical=True)
+        run = count_kmers(tiny_reads, 9, algorithm="dakc", machine="laptop",
+                          nodes=1, canonical=True)
+        assert run.counts == want
+
+    def test_sim_time_property(self, tiny_reads):
+        run = count_kmers(tiny_reads, 9, algorithm="dakc", machine="laptop")
+        assert run.sim_time == run.stats.sim_time > 0
+
+    def test_hysortk_socket_default(self, tiny_reads):
+        run = count_kmers(tiny_reads, 9, algorithm="hysortk",
+                          machine=phoenix_intel(2))
+        assert run.stats.n_pes == 4  # 2 sockets x 2 nodes
+
+    def test_pakman_core_ranks_default(self, tiny_reads):
+        run = count_kmers(tiny_reads, 9, algorithm="pakman*",
+                          machine="laptop", nodes=2)
+        # laptop: 8 cores/node -> 16 MPI ranks.
+        assert run.stats.n_pes == 16
+
+
+class TestExtensionsViaApi:
+    def test_overlap_and_minimizer_agree(self, small_reads):
+        ref = serial_count(small_reads, 21)
+        for algo in ("dakc-overlap", "minimizer"):
+            run = count_kmers(small_reads, 21, algorithm=algo,
+                              machine="laptop", nodes=2)
+            assert run.counts == ref, algo
+
+    def test_overlap_two_syncs_via_api(self, small_reads):
+        run = count_kmers(small_reads, 21, algorithm="dakc-overlap",
+                          machine="laptop", nodes=2)
+        assert run.stats.global_syncs == 2
+
+    def test_minimizer_canonical(self, tiny_reads):
+        want = serial_count(tiny_reads, 9, canonical=True)
+        run = count_kmers(tiny_reads, 9, algorithm="minimizer",
+                          machine="laptop", nodes=2, canonical=True)
+        assert run.counts == want
+
+    def test_missing_file_clear_error(self):
+        with pytest.raises(FileNotFoundError, match="no such read file"):
+            count_kmers("/definitely/not/here.fastq", 21)

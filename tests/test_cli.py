@@ -1,0 +1,104 @@
+"""Tests for the dakc CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.seq.fastx import write_fastq
+from repro.seq.readsim import reads_to_records
+
+
+@pytest.fixture
+def fastq_path(tmp_path, tiny_reads):
+    path = tmp_path / "reads.fastq"
+    write_fastq(path, reads_to_records(tiny_reads))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_count_mutually_exclusive_sources(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["count", "--input", "a", "--dataset", "b"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "dakc" in capsys.readouterr().out
+
+
+class TestCount:
+    def test_count_file(self, fastq_path, capsys):
+        rc = main(["count", "--input", fastq_path, "-k", "9",
+                   "--algorithm", "serial"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# distinct:" in out and "# total k-mers:" in out
+
+    def test_count_dataset_with_simulation(self, capsys):
+        rc = main(["count", "--dataset", "synthetic-20", "-k", "15",
+                   "--nodes", "2", "--budget", "50000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated kernel time" in out
+        assert "global syncs: 3" in out
+
+    def test_top_and_spectrum(self, fastq_path, capsys):
+        rc = main(["count", "--input", fastq_path, "-k", "9",
+                   "--algorithm", "serial", "--top", "2", "--spectrum", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# top 2 k-mers:" in out
+        assert "# spectrum" in out
+
+    def test_output_tsv(self, fastq_path, tmp_path, capsys):
+        out_path = tmp_path / "counts.tsv"
+        rc = main(["count", "--input", fastq_path, "-k", "9",
+                   "--algorithm", "serial", "--output", str(out_path)])
+        assert rc == 0
+        lines = out_path.read_text().splitlines()
+        assert len(lines) > 0
+        kmer, count = lines[0].split("\t")
+        assert len(kmer) == 9 and int(count) >= 1
+
+    def test_unknown_dataset_is_graceful(self, capsys):
+        rc = main(["count", "--dataset", "no-such", "-k", "9"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Synthetic 32" in out and "Human" in out
+
+    def test_model(self, capsys):
+        assert main(["model", "--dataset", "synthetic-28", "--nodes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "T_total (sum model)" in out
+        assert "iadd64/B" in out
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table5" in out
+
+    def test_bench_single(self, capsys):
+        assert main(["bench", "table4"]) == 0
+        assert "121.9" in capsys.readouterr().out
+
+    def test_bench_unknown(self, capsys):
+        assert main(["bench", "fig99"]) == 2
+
+    def test_simulate(self, tmp_path, capsys):
+        out_path = tmp_path / "sim.fastq"
+        rc = main(["simulate", "--dataset", "synthetic-20",
+                   "--fidelity", "0.0001", "--output", str(out_path)])
+        assert rc == 0
+        text = out_path.read_text()
+        assert text.startswith("@read0")

@@ -1,0 +1,122 @@
+"""Tests for the extended CLI commands (analyze, compare, timeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.store import dump_text, save_counts
+from repro.cli import main
+from repro.core.result import KmerCounts
+from repro.core.serial import serial_count
+
+
+@pytest.fixture
+def db_paths(tmp_path, small_reads):
+    kc_a = serial_count(small_reads[:150], 15)
+    kc_b = serial_count(small_reads[50:], 15)
+    a = tmp_path / "a.npz"
+    b = tmp_path / "b.npz"
+    save_counts(a, kc_a)
+    save_counts(b, kc_b)
+    return str(a), str(b)
+
+
+class TestSave:
+    def test_count_save_roundtrip(self, tmp_path, capsys):
+        db = tmp_path / "out.npz"
+        rc = main(["count", "--dataset", "synthetic-20", "-k", "15",
+                   "--budget", "30000", "--algorithm", "serial",
+                   "--save", str(db)])
+        assert rc == 0
+        assert db.exists()
+        assert "saved binary database" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_analyze_npz(self, db_paths, capsys):
+        a, _ = db_paths
+        assert main(["analyze", a]) == 0
+        out = capsys.readouterr().out
+        for field in ("error valley", "coverage peak", "est. genome size",
+                      "solid threshold"):
+            assert field in out
+
+    def test_analyze_tsv(self, tmp_path, capsys):
+        kc = KmerCounts.from_pairs(
+            5, np.array([1, 2, 3], dtype=np.uint64), np.array([1, 20, 20], dtype=np.int64)
+        )
+        path = tmp_path / "d.tsv"
+        dump_text(path, kc)
+        assert main(["analyze", str(path)]) == 0
+        assert "distinct k-mers:    3" in capsys.readouterr().out
+
+    def test_analyze_missing_file(self, capsys):
+        assert main(["analyze", "/no/such/file.npz"]) == 2
+
+
+class TestCompare:
+    def test_compare(self, db_paths, capsys):
+        a, b = db_paths
+        assert main(["compare", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "jaccard:" in out
+        assert "shared distinct:" in out
+        # Overlapping read windows -> meaningful but partial sharing.
+        jac = float(next(l for l in out.splitlines() if "jaccard" in l).split()[-1])
+        assert 0.1 < jac < 1.0
+
+
+class TestTimeline:
+    def test_timeline_dakc(self, capsys):
+        rc = main(["timeline", "--dataset", "synthetic-20", "-k", "15",
+                   "--budget", "30000", "--nodes", "2", "--width", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 global syncs" in out
+        assert "PE  0" in out and "PE  1" in out
+        assert "|" in out  # barrier glyphs
+
+    def test_timeline_bsp(self, capsys):
+        rc = main(["timeline", "--dataset", "synthetic-20", "-k", "15",
+                   "--budget", "30000", "--nodes", "2",
+                   "--algorithm", "pakman*"])
+        assert rc == 0
+        assert "global syncs" in capsys.readouterr().out
+
+    def test_timeline_unknown_algorithm(self, capsys):
+        rc = main(["timeline", "--algorithm", "kmc3", "--budget", "30000"])
+        assert rc == 2
+
+
+class TestCalibrate:
+    def test_calibrate_quick(self, capsys):
+        assert main(["calibrate", "--quick", "--cores", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "INT64 throughput" in out
+        assert "beta_mem" in out
+
+
+class TestSweep:
+    def test_sweep_table(self, capsys):
+        rc = main(["sweep", "--dataset", "synthetic-20", "-k", "15",
+                   "--nodes", "1,2", "--budget", "40000",
+                   "--algorithms", "dakc,hysortk"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated kernel time" in out
+        assert "dakc" in out and "hysortk" in out
+
+    def test_sweep_plot(self, capsys):
+        rc = main(["sweep", "--dataset", "synthetic-20", "-k", "15",
+                   "--nodes", "1,4", "--budget", "40000",
+                   "--algorithms", "dakc", "--plot"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "log-log scaling" in out
+        assert "(nodes)" in out
+
+    def test_sweep_unknown_algorithm(self, capsys):
+        rc = main(["sweep", "--algorithms", "quantum", "--nodes", "1",
+                   "--budget", "40000"])
+        assert rc == 2

@@ -1,0 +1,60 @@
+"""Smoke tests: the shipped examples must run end-to-end.
+
+Each example is executed in-process (runpy) with its assertions armed;
+the slowest two (scaling_study, tuning_aggregation) are exercised by
+the benchmark suite instead and only import-checked here.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "all algorithms agree" in out
+        assert "k-mer spectrum" in out
+
+    def test_metagenome_abundance(self, capsys):
+        out = run_example("metagenome_abundance.py", capsys)
+        assert "correlation(true, estimated)" in out
+
+    def test_longread_bigk(self, capsys):
+        out = run_example("longread_bigk.py", capsys)
+        assert "128-bit" in out
+
+    def test_timeline_visualization(self, capsys):
+        out = run_example("timeline_visualization.py", capsys)
+        assert out.count("---") >= 3  # three traced runs
+        assert "2 syncs" in out
+
+    def test_genome_assembly_filter(self, capsys):
+        out = run_example("genome_assembly_filter.py", capsys)
+        assert "genome recovery" in out
+        assert "filtered" in out
+
+
+class TestSlowExamplesParse:
+    """scaling_study / tuning_aggregation are benchmark-shaped; just
+    verify they compile and their imports resolve."""
+
+    @pytest.mark.parametrize("name", ["scaling_study.py", "tuning_aggregation.py"])
+    def test_compiles(self, name):
+        source = (EXAMPLES / name).read_text()
+        compile(source, name, "exec")
+
+    def test_comparative_genomics(self, capsys):
+        out = run_example("comparative_genomics.py", capsys)
+        assert "jaccard similarity" in out
+        assert "strain-A-specific" in out
