@@ -1,0 +1,54 @@
+"""Extension bench: fault tolerance overhead and recovery (repro.fault).
+
+Two claims are on the line:
+
+* the reliability layer is nearly free when nothing goes wrong — the
+  sequencing/checksum/ack machinery must cost < 10% simulated time on
+  a fault-free wire;
+* under a genuinely hostile plan (drops + duplication + corruption +
+  a transient PE crash) the protected run still produces counts
+  exactly equal to the serial oracle, at a bounded time premium.
+"""
+
+from repro.bench.workloads import build_workload
+from repro.core.dakc import DakcConfig, dakc_count
+from repro.core.serial import serial_count
+from repro.fault import FaultPlan, run_chaos
+from repro.runtime.cost import CostModel
+from repro.runtime.machine import phoenix_intel
+
+
+def test_extension_chaos_overhead_and_recovery(benchmark):
+    w = build_workload("synthetic-24", 31, budget_kmers=200_000)
+    ref = serial_count(w.reads, 31)
+
+    def run():
+        m = phoenix_intel(8)
+        cost = CostModel(m, cores_per_pe=24)
+        config = DakcConfig(protocol="2D")
+        _, plain = dakc_count(w.reads, 31, cost, config)
+        clean = run_chaos(w.reads, 31, cost, FaultPlan(seed=0),
+                          config=config, reference=ref)
+        hostile = run_chaos(
+            w.reads, 31, cost,
+            FaultPlan(seed=1, drop_prob=0.02, duplicate_prob=0.02,
+                      corrupt_prob=0.01, crash_pes=(3,)),
+            config=config, reference=ref,
+        )
+        return plain.sim_time, clean, hostile
+
+    plain_time, clean, hostile = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Fault-free: exact counts at < 10% simulated-time overhead.
+    assert clean.ok and clean.counts_match
+    assert clean.retransmits == 0 and clean.recovery_time == 0.0
+    assert clean.sim_time < 1.10 * plain_time
+
+    # Hostile: recovery happened and the counts are still exact.
+    assert hostile.ok and hostile.counts_match
+    assert hostile.recovery_time > 0.0
+    # Masking the faults may cost time, but boundedly so: everything
+    # beyond the accounted recovery time (timeout waits, crash reboot,
+    # checkpoint restore) stays within a small multiple of the clean
+    # kernel (retransmitted staging/PUT work).
+    assert hostile.sim_time < 10.0 * plain_time + hostile.recovery_time

@@ -9,6 +9,8 @@ Subcommands:
 * ``bench``    — regenerate a paper table or figure by id (``fig7``,
   ``table5``, ...), or ``all``.
 * ``simulate`` — generate a synthetic FASTQ replica to disk.
+* ``chaos``    — fault-injection campaign: DAKC on a lossy fabric with
+  the reliability/checkpoint layer, validated against the serial oracle.
 """
 
 from __future__ import annotations
@@ -98,6 +100,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="core count to assume for node-level rates")
     p_cal.add_argument("--quick", action="store_true",
                        help="small measurement sizes (noisy, fast)")
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign: DAKC under a lossy fabric, "
+        "validated against the serial oracle",
+    )
+    p_chaos.add_argument("--dataset", default="synthetic-20",
+                         help="Table V dataset key for the replica workload")
+    p_chaos.add_argument("-k", type=int, default=31)
+    p_chaos.add_argument("--nodes", type=int, default=2)
+    p_chaos.add_argument("--machine", default="laptop",
+                         help="machine preset (phoenix-intel|phoenix-amd|laptop)")
+    p_chaos.add_argument("--protocol", default="1D",
+                         help="Conveyors topology (1D|2D|3D)")
+    p_chaos.add_argument("--budget", type=int, default=100_000,
+                         help="replica k-mer budget")
+    p_chaos.add_argument("--drop", default="0.01,0.05",
+                         help="comma-separated drop probabilities to sweep")
+    p_chaos.add_argument("--duplicate", type=float, default=0.01,
+                         help="duplication probability")
+    p_chaos.add_argument("--corrupt", type=float, default=0.005,
+                         help="payload bit-flip probability")
+    p_chaos.add_argument("--delay", type=float, default=0.0,
+                         help="delivery delay probability")
+    p_chaos.add_argument("--crash", default="",
+                         help="comma-separated PE indices to crash at the "
+                         "phase boundary (checkpoint/restart protects them)")
+    p_chaos.add_argument("--straggler", default="",
+                         help="comma-separated PE indices running slow")
+    p_chaos.add_argument("--straggler-factor", type=float, default=2.0,
+                         help="clock dilation of straggler PEs (>= 1)")
+    p_chaos.add_argument("--seed", type=int, default=0)
 
     p_tl = sub.add_parser("timeline", help="ASCII Gantt of a simulated run")
     p_tl.add_argument("--dataset", default="synthetic-20")
@@ -290,6 +324,43 @@ def _cmd_timeline(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .api import resolve_machine
+    from .bench.workloads import build_workload
+    from .core.dakc import DakcConfig
+    from .fault import FaultPlan, chaos_sweep, format_report
+    from .runtime.cost import CostModel
+
+    drops = [float(d) for d in args.drop.split(",") if d.strip()]
+    crash = tuple(int(p) for p in args.crash.split(",") if p.strip())
+    stragglers = tuple(int(p) for p in args.straggler.split(",") if p.strip())
+    w = build_workload(args.dataset, args.k, budget_kmers=args.budget)
+    m = resolve_machine(args.machine, args.nodes)
+    cost = CostModel(m, cores_per_pe=m.cores_per_node)
+    config = DakcConfig(protocol=args.protocol)
+    plans = [FaultPlan(seed=args.seed)]  # fault-free baseline first
+    plans += [
+        FaultPlan(
+            seed=args.seed + i,
+            drop_prob=drop,
+            duplicate_prob=args.duplicate,
+            corrupt_prob=args.corrupt,
+            delay_prob=args.delay,
+            crash_pes=crash,
+            straggler_pes=stragglers,
+            straggler_factor=args.straggler_factor if stragglers else 1.0,
+        )
+        for i, drop in enumerate(drops, start=1)
+    ]
+    print(f"# chaos: {w.spec.display} replica ({w.n_kmers(args.k):,} k-mers), "
+          f"k={args.k}, {args.protocol} protocol, {cost.n_pes} PEs")
+    print("# every plan runs with the reliability layer (and checkpointing "
+          "when PEs crash), then bare for fault-detection")
+    outcomes = chaos_sweep(w.reads, args.k, cost, plans, config=config)
+    print(format_report(outcomes))
+    return 0 if all(o.passed for o in outcomes) else 1
+
+
 def _cmd_datasets(_args) -> int:
     from .bench.tables import print_table
     from .seq.datasets import table5_rows
@@ -374,6 +445,7 @@ _COMMANDS = {
     "model": _cmd_model,
     "bench": _cmd_bench,
     "simulate": _cmd_simulate,
+    "chaos": _cmd_chaos,
     "analyze": _cmd_analyze,
     "compare": _cmd_compare,
     "timeline": _cmd_timeline,

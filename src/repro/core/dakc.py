@@ -204,6 +204,9 @@ def dakc_count(
     k: int,
     cost: CostModel | MachineConfig,
     config: DakcConfig | None = None,
+    *,
+    conveyor_factory=None,
+    interphase_hook=None,
 ) -> tuple[KmerCounts, RunStats]:
     """Count k-mers with DAKC on the simulated machine.
 
@@ -219,6 +222,16 @@ def dakc_count(
     config:
         DAKC tunables; defaults reproduce the paper's defaults
         (1D protocol, C1=1024, C2=32, C3=10^4, L2+L3 enabled).
+    conveyor_factory:
+        Optional replacement for the stock :class:`Conveyor` — called
+        with the same positional/keyword arguments.  Used by
+        :mod:`repro.fault` to substitute fault-injecting or reliable
+        conveyor engines.
+    interphase_hook:
+        Optional ``hook(conveyor, stats)`` invoked at the inter-phase
+        barrier, after Phase 1 settles and *before* the delivery
+        conservation check — the point where :mod:`repro.fault` takes
+        checkpoints and applies transient PE crashes.
 
     Returns
     -------
@@ -234,7 +247,8 @@ def dakc_count(
     stats = RunStats(n_pes=n_pes)
     memory = MemoryTracker(n_pes)
     topo = make_topology(config.protocol, n_pes)
-    conveyor = Conveyor(
+    make_conveyor = conveyor_factory if conveyor_factory is not None else Conveyor
+    conveyor = make_conveyor(
         cost, stats, topo, memory, c0_bytes=config.c0_bytes, c1_packets=config.c1_packets
     )
     per_pe_reads = _split_reads(reads, n_pes)
@@ -258,6 +272,9 @@ def dakc_count(
         barrier(cost, stats)  # sync 2: inter-phase barrier
 
     stats.phase1_time = stats.max_clock
+
+    if interphase_hook is not None:
+        interphase_hook(conveyor, stats)
 
     if config.verify_delivery:
         _verify_conservation(stats, conveyor)

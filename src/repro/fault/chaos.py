@@ -1,0 +1,218 @@
+"""Chaos harness: run DAKC under a fault plan, validate against serial.
+
+:func:`run_chaos` is the one-call entry point: it wires a
+:class:`~repro.fault.models.FaultPlan` into ``dakc_count`` through the
+conveyor factory and the inter-phase hook, optionally protected by the
+reliability layer and a checkpoint store, and checks the produced
+counts for exact multiset equality against the serial oracle.
+
+The contract under test is sharp:
+
+* **protected** runs must produce counts *exactly* equal to
+  ``serial_count`` no matter what the plan injects (short of a fabric
+  so lossy the protocol gives up with
+  :class:`~repro.fault.reliability.ReliabilityError`);
+* **unprotected** runs under a lossy plan must *fail loudly* — DAKC's
+  conservation check raises
+  :class:`~repro.core.dakc.DeliveryIntegrityError` rather than
+  returning silently wrong counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dakc import DakcConfig, DeliveryIntegrityError, dakc_count
+from ..core.result import KmerCounts
+from ..core.serial import serial_count
+from ..runtime.cost import CostModel
+from ..runtime.machine import MachineConfig
+from .checkpoint import CheckpointStore, apply_phase_crashes
+from .injector import FaultyConveyor
+from .models import FaultPlan
+from .reliability import DEFAULT_MAX_ROUNDS, ReliabilityError, ReliableConveyor
+
+__all__ = ["ChaosOutcome", "run_chaos", "chaos_sweep", "format_report"]
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """Result of one chaos run."""
+
+    plan: FaultPlan
+    protocol: str
+    protected: bool
+    ok: bool  # run completed (no integrity/reliability error)
+    counts_match: bool  # exact multiset equality vs the serial oracle
+    error: str | None = None
+    sim_time: float = 0.0
+    recovery_time: float = 0.0
+    retransmits: int = 0
+    dup_drops: int = 0
+    acks_sent: int = 0
+    checksum_failures: int = 0
+    fault_summary: dict | None = None
+
+    @property
+    def passed(self) -> bool:
+        """The run upheld its contract for its protection level.
+
+        Protected: completed with exactly correct counts.  Unprotected:
+        either the plan was benign and the counts are exact, or the
+        faults were detected and the run was rejected.
+        """
+        if self.protected:
+            return self.ok and self.counts_match
+        if self.plan.benign:
+            return self.ok and self.counts_match
+        return not self.ok or self.counts_match
+
+
+def run_chaos(
+    reads,
+    k: int,
+    cost: CostModel | MachineConfig,
+    plan: FaultPlan,
+    *,
+    config: DakcConfig | None = None,
+    protect: bool = True,
+    checkpoint: bool | None = None,
+    rto: float | None = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    reference: KmerCounts | None = None,
+) -> ChaosOutcome:
+    """Run DAKC once under *plan* and validate the counts.
+
+    ``protect`` enables the reliability layer (sequencing, dedup, acks,
+    retransmission); ``checkpoint`` enables phase-boundary snapshots
+    (default: on exactly when the plan crashes PEs and ``protect`` is
+    set).  ``reference`` short-circuits the serial oracle when the
+    caller already has it (sweeps over one dataset).
+    """
+    if isinstance(cost, MachineConfig):
+        cost = CostModel(cost)
+    config = config or DakcConfig()
+    if checkpoint is None:
+        checkpoint = protect and bool(plan.crash_pes)
+    store = CheckpointStore(cost) if checkpoint else None
+    holder: dict[str, FaultyConveyor] = {}
+
+    def factory(*args, **kwargs):
+        if protect:
+            conv = ReliableConveyor(
+                *args, plan=plan, rto=rto, max_rounds=max_rounds, **kwargs
+            )
+        else:
+            conv = FaultyConveyor(*args, plan=plan, **kwargs)
+        holder["conveyor"] = conv
+        return conv
+
+    def hook(conveyor, stats):
+        if store is not None:
+            store.snapshot_delivered(conveyor, stats)
+        apply_phase_crashes(plan, conveyor, stats, store)
+
+    if reference is None:
+        reference = serial_count(reads, k, canonical=config.canonical)
+
+    try:
+        counts, stats = dakc_count(
+            reads, k, cost, config, conveyor_factory=factory, interphase_hook=hook
+        )
+    except (DeliveryIntegrityError, ReliabilityError) as exc:
+        conv = holder.get("conveyor")
+        return ChaosOutcome(
+            plan=plan,
+            protocol=config.protocol,
+            protected=protect,
+            ok=False,
+            counts_match=False,
+            error=f"{type(exc).__name__}: {exc}",
+            fault_summary=conv.fault_stats.summary() if conv is not None else None,
+        )
+    finally:
+        # The injector installs the plan's straggler dilation on the
+        # shared cost model; clear it so the caller can reuse the model.
+        cost.set_dilation(None)
+
+    conv = holder["conveyor"]
+    return ChaosOutcome(
+        plan=plan,
+        protocol=config.protocol,
+        protected=protect,
+        ok=True,
+        counts_match=(counts == reference),
+        sim_time=stats.sim_time,
+        recovery_time=stats.recovery_time,
+        retransmits=stats.total("retransmits"),
+        dup_drops=stats.total("dup_drops"),
+        acks_sent=stats.total("acks_sent"),
+        checksum_failures=getattr(conv, "checksum_failures", 0),
+        fault_summary=conv.fault_stats.summary(),
+    )
+
+
+def chaos_sweep(
+    reads,
+    k: int,
+    cost: CostModel | MachineConfig,
+    plans: list[FaultPlan],
+    *,
+    config: DakcConfig | None = None,
+    include_unprotected: bool = True,
+    rto: float | None = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> list[ChaosOutcome]:
+    """Run every plan protected (and optionally unprotected) once."""
+    if isinstance(cost, MachineConfig):
+        cost = CostModel(cost)
+    config = config or DakcConfig()
+    reference = serial_count(reads, k, canonical=config.canonical)
+    outcomes: list[ChaosOutcome] = []
+    for plan in plans:
+        outcomes.append(
+            run_chaos(reads, k, cost, plan, config=config, protect=True,
+                      rto=rto, max_rounds=max_rounds, reference=reference)
+        )
+        if include_unprotected and not plan.benign:
+            outcomes.append(
+                run_chaos(reads, k, cost, plan, config=config, protect=False,
+                          reference=reference)
+            )
+    return outcomes
+
+
+def format_report(outcomes: list[ChaosOutcome]) -> str:
+    """Render a chaos sweep as an aligned text table."""
+    header = (
+        "plan", "layer", "result", "exact", "retx", "dups",
+        "acks", "recovery_s", "sim_s",
+    )
+    rows = [header]
+    for o in outcomes:
+        if o.ok:
+            result = "completed"
+        else:
+            result = (o.error or "failed").split(":")[0]
+        rows.append((
+            o.plan.describe(),
+            "reliable" if o.protected else "bare",
+            result,
+            "yes" if o.counts_match else "no",
+            str(o.retransmits),
+            str(o.dup_drops),
+            str(o.acks_sent),
+            f"{o.recovery_time:.3g}",
+            f"{o.sim_time:.3g}",
+        ))
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = ["  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+             for row in rows]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    verdict = all(o.passed for o in outcomes)
+    lines.append("")
+    lines.append(
+        f"{sum(o.passed for o in outcomes)}/{len(outcomes)} runs upheld their "
+        f"contract -> {'PASS' if verdict else 'FAIL'}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Phase-boundary checkpoint/restart for the simulated counters.
+
+At DAKC's inter-phase barrier every PE's Phase-1 result — the delivered
+packet groups it will sort in Phase 2 — is the whole recoverable state
+of the computation.  :class:`CheckpointStore` snapshots that state (and
+the analogous accumulated receive arrays of the BSP baseline at its
+superstep boundaries), prices the snapshot traffic on the machine, and
+replays it into PEs that suffer a transient crash.
+
+Checkpoint I/O runs at :data:`CHECKPOINT_BW_FRACTION` of a PE's memory
+bandwidth — node-local NVMe or a burst buffer, not the DRAM stream.
+Restore time lands in ``RunStats.recovery_time``; snapshot time is
+ordinary overhead on the PE clocks (it is paid even on clean runs).
+
+:func:`apply_phase_crashes` is the failure half: it wipes the delivered
+state of the plan's ``crash_pes``, charges the reboot, and — when a
+store holds a snapshot — restores.  Without a store the wiped PEs
+simply lose their k-mers, which the conservation check turns into a
+:class:`~repro.core.dakc.DeliveryIntegrityError`.
+"""
+
+from __future__ import annotations
+
+from ..runtime.conveyors import Conveyor
+from ..runtime.cost import CostModel
+from ..runtime.stats import RunStats
+from .injector import FaultyConveyor
+from .models import FaultPlan
+
+__all__ = ["CHECKPOINT_BW_FRACTION", "CheckpointStore", "apply_phase_crashes"]
+
+#: Checkpoint device bandwidth as a fraction of PE memory bandwidth.
+CHECKPOINT_BW_FRACTION: float = 0.5
+
+
+class CheckpointStore:
+    """Holds one snapshot of recoverable per-PE state."""
+
+    def __init__(self, cost: CostModel, *,
+                 bw_fraction: float = CHECKPOINT_BW_FRACTION) -> None:
+        if not 0.0 < bw_fraction <= 1.0:
+            raise ValueError("bw_fraction must be in (0, 1]")
+        self.cost = cost
+        self.bw_fraction = bw_fraction
+        self.snapshots_taken = 0
+        self.restores = 0
+        self._delivered: list[list] | None = None
+        self._bsp: tuple[list[list], list[list]] | None = None
+
+    def _charge(self, pe_stats, nbytes: int) -> float:
+        """Charge checkpoint I/O of *nbytes* on one PE; returns the dt."""
+        dt = self.cost._dilated(pe_stats, nbytes / (self.cost.pe_mem_bw * self.bw_fraction))
+        pe_stats.advance(dt)
+        return dt
+
+    # -- DAKC: conveyor delivered state -------------------------------
+
+    def snapshot_delivered(self, conveyor: Conveyor, stats: RunStats) -> None:
+        """Snapshot every PE's delivered groups (DAKC Phase-1 output)."""
+        snap: list[list] = []
+        for pe, queue in enumerate(conveyor.delivered):
+            snap.append(list(queue))
+            nbytes = sum(g.payload_bytes for _, g in queue)
+            self._charge(stats.pe[pe], nbytes)
+        self._delivered = snap
+        self.snapshots_taken += 1
+
+    def restore_delivered(
+        self, conveyor: Conveyor, pes: tuple[int, ...] | list[int], stats: RunStats
+    ) -> None:
+        """Replay the snapshot into the (rebooted) *pes*."""
+        if self._delivered is None:
+            raise RuntimeError("no delivered-state checkpoint to restore from")
+        for pe in pes:
+            conveyor.delivered[pe][:] = self._delivered[pe]
+            nbytes = sum(g.payload_bytes for _, g in self._delivered[pe])
+            dt = self._charge(stats.pe[pe], nbytes)
+            stats.recovery_time += dt
+            self.restores += 1
+
+    # -- BSP: accumulated receive arrays ------------------------------
+
+    def snapshot_bsp(self, recv_plain: list[list], recv_pairs: list[list],
+                     stats: RunStats) -> None:
+        """Snapshot the BSP receive state at a superstep boundary."""
+        plain = [list(arrs) for arrs in recv_plain]
+        pairs = [list(ps) for ps in recv_pairs]
+        for pe in range(len(plain)):
+            nbytes = sum(a.nbytes for a in plain[pe])
+            nbytes += sum(u.nbytes + c.nbytes for u, c in pairs[pe])
+            self._charge(stats.pe[pe], nbytes)
+        self._bsp = (plain, pairs)
+        self.snapshots_taken += 1
+
+    def restore_bsp(self, recv_plain: list[list], recv_pairs: list[list],
+                    pes: tuple[int, ...] | list[int], stats: RunStats) -> None:
+        """Replay the BSP snapshot into the (rebooted) *pes*."""
+        if self._bsp is None:
+            raise RuntimeError("no BSP checkpoint to restore from")
+        plain, pairs = self._bsp
+        for pe in pes:
+            recv_plain[pe][:] = plain[pe]
+            recv_pairs[pe][:] = pairs[pe]
+            nbytes = sum(a.nbytes for a in plain[pe])
+            nbytes += sum(u.nbytes + c.nbytes for u, c in pairs[pe])
+            dt = self._charge(stats.pe[pe], nbytes)
+            stats.recovery_time += dt
+            self.restores += 1
+
+
+def apply_phase_crashes(
+    plan: FaultPlan,
+    conveyor: Conveyor,
+    stats: RunStats,
+    store: CheckpointStore | None = None,
+) -> tuple[int, ...]:
+    """Crash the plan's PEs at the phase boundary; restore if possible.
+
+    A crashed PE loses its in-memory delivered groups and reboots after
+    ``plan.crash_restart_time``.  With a *store* holding a snapshot the
+    state is replayed and the run proceeds; without one the loss stands
+    and DAKC's conservation check will reject the counts.  Returns the
+    PEs crashed.
+    """
+    if not plan.crash_pes:
+        return ()
+    n_pes = conveyor.cost.n_pes
+    if any(pe >= n_pes for pe in plan.crash_pes):
+        raise ValueError(
+            f"crash PE out of range for {n_pes} PEs: {plan.crash_pes}"
+        )
+    for pe in plan.crash_pes:
+        pe_stats = stats.pe[pe]
+        pe_stats.crashes += 1
+        conveyor.delivered[pe].clear()
+        pe_stats.advance(plan.crash_restart_time)
+        stats.recovery_time += plan.crash_restart_time
+    if store is not None:
+        store.restore_delivered(conveyor, plan.crash_pes, stats)
+    if isinstance(conveyor, FaultyConveyor):
+        conveyor.fault_stats.crashed_pes = plan.crash_pes
+    return plan.crash_pes

@@ -54,6 +54,11 @@ class PacketGroup:
     counts: np.ndarray | None
     n_packets: int
     payload_bytes: int
+    #: Per-flow sequence number stamped by the reliability layer
+    #: (:mod:`repro.fault.reliability`); -1 = untracked traffic.
+    seq: int = -1
+    #: Payload checksum stamped at injection; 0 = unchecked traffic.
+    checksum: int = 0
 
     @property
     def n_elements(self) -> int:
@@ -67,6 +72,7 @@ class _HopBuffer:
     groups: list = field(default_factory=list)
     bytes: int = 0
     packets_pending_l1: int = 0
+    bytes_pending_l1: int = 0  # wire bytes of the L1-pending packets
 
 
 class Conveyor:
@@ -126,7 +132,7 @@ class Conveyor:
             # Self-send: Algorithm 4 routes every k-mer through
             # AsyncAdd, including self-owned ones; locally this is a
             # buffer append, delivered immediately.
-            self.delivered[from_pe].append((pe_stats.clock, group))
+            self._deliver(from_pe, pe_stats.clock, group)
             return
         next_hop = route[0]
         buf = self._buffers[from_pe].setdefault(next_hop, _HopBuffer())
@@ -134,17 +140,24 @@ class Conveyor:
         wire = self.group_wire_bytes(group)
         buf.bytes += wire
         buf.packets_pending_l1 += group.n_packets
+        buf.bytes_pending_l1 += wire
         self._staged_bytes[from_pe] += wire
         if self.memory is not None:
             self.memory.set_category(from_pe, "conveyor", self._staged_bytes[from_pe])
         # L1 staging: every C1 packets are memcpy'd into the conveyor
         # send buffer (HClib-Actor's extra buffering layer).
         if buf.packets_pending_l1 >= self.c1_packets:
-            flushed = buf.packets_pending_l1 - buf.packets_pending_l1 % self.c1_packets
-            buf.packets_pending_l1 %= self.c1_packets
+            pending = buf.packets_pending_l1
+            flushed = pending - pending % self.c1_packets
+            # Charge the staging copy at memory bandwidth: the actual
+            # wire bytes (payload + routing headers) of the flushed
+            # packets, pro-rated over the pending run when a group
+            # straddles the C1 boundary.
+            copied = buf.bytes_pending_l1 * flushed // pending
+            buf.packets_pending_l1 = pending % self.c1_packets
+            buf.bytes_pending_l1 -= copied
             pe_stats.l1_flushes += flushed // self.c1_packets
-            # Charge the staging copy at memory bandwidth.
-            self.cost.charge_mem(pe_stats, min(buf.bytes, flushed * 8))
+            self.cost.charge_mem(pe_stats, copied)
         if buf.bytes >= self.c0_bytes:
             self._flush_hop(from_pe, next_hop)
 
@@ -155,6 +168,10 @@ class Conveyor:
         if buf is None or not buf.groups:
             return
         pe_stats = self.stats.pe[from_pe]
+        if buf.bytes_pending_l1:
+            # Packets still short of a full C1 batch are staging-copied
+            # into the L0 buffer at flush time (end-of-stream copy).
+            self.cost.charge_mem(pe_stats, buf.bytes_pending_l1)
         nbytes = buf.bytes
         groups = buf.groups
         self._buffers[from_pe][next_hop] = _HopBuffer()
@@ -162,7 +179,22 @@ class Conveyor:
         if self.memory is not None:
             self.memory.set_category(from_pe, "conveyor", self._staged_bytes[from_pe])
         pe_stats.l0_flushes += 1
-        arrival = self.cost.charge_put(pe_stats, next_hop, nbytes)
+        self._launch(from_pe, next_hop, groups, nbytes)
+
+    def _launch(
+        self,
+        from_pe: int,
+        next_hop: int,
+        groups: list[PacketGroup],
+        nbytes: int,
+    ) -> None:
+        """Put one L0 message on the wire toward *next_hop*.
+
+        The single point where a message leaves a PE — overridden by
+        :class:`repro.fault.injector.FaultyConveyor` to apply fault
+        plans (drop/duplicate/delay/corrupt) per wire traversal.
+        """
+        arrival = self.cost.charge_put(self.stats.pe[from_pe], next_hop, nbytes)
         self._in_flight.append((arrival, next_hop, groups))
 
     def flush_pe(self, pe: int) -> None:
@@ -185,27 +217,43 @@ class Conveyor:
         and forwarded (charging the relay's clock for the handling),
         exactly the store-and-forward behaviour of 2D/3D Conveyors.
         """
-        heap = [(arrival, i, hop, groups) for i, (arrival, hop, groups) in enumerate(self._in_flight)]
-        heapq.heapify(heap)
-        self._in_flight = []
-        seq = len(heap)
-        guard = 0
-        while heap or self._in_flight:
+        heap: list[tuple[float, int, int, list[PacketGroup]]] = []
+        seq = 0
+
+        def absorb() -> None:
+            nonlocal seq
             for arrival, hop, groups in self._in_flight:
                 heapq.heappush(heap, (arrival, seq, hop, groups))
                 seq += 1
-            self._in_flight = []
-            if not heap:
-                break
-            guard += 1
-            if guard > 10_000_000:
-                raise RuntimeError("conveyor drain did not terminate")
+            self._in_flight.clear()
+
+        # Termination budget: every route() is hop-monotone (each hop
+        # strictly shortens the remaining route), so a group arriving
+        # at `hop` can cause at most len(route(hop, dst)) further
+        # message launches — doubled per remaining hop to also cover
+        # fault-injected duplicates (repro.fault).  A drain exceeding
+        # this bound has a routing cycle, which the budget turns into
+        # an immediate error instead of a ten-million-iteration hang.
+        dup_factor = 2 ** self.topology.max_hops
+        budget = len(self._in_flight) + dup_factor * sum(
+            len(self.topology.route(hop, g.dst))
+            for _, hop, groups in self._in_flight
+            for g in groups
+        )
+        absorb()
+        while heap:
+            if budget <= 0:
+                raise RuntimeError(
+                    "conveyor drain exceeded the topology hop bound "
+                    "(non-monotone route)"
+                )
+            budget -= 1
             arrival, _, hop, groups = heapq.heappop(heap)
             hop_stats = self.stats.pe[hop]
             finals = [g for g in groups if g.dst == hop]
             relays = [g for g in groups if g.dst != hop]
             for g in finals:
-                self.delivered[hop].append((arrival, g))
+                self._deliver(hop, arrival, g)
             if relays:
                 # Relay handling: the hop PE parses headers and
                 # re-buffers the packets toward their destinations.
@@ -218,6 +266,17 @@ class Conveyor:
                 for g in relays:
                     self._enqueue(hop, g)
                 self.flush_pe(hop)
+                absorb()
+
+    def _deliver(self, pe: int, arrival: float, group: PacketGroup) -> None:
+        """Hand one group to its final destination.
+
+        The single point where traffic becomes visible to the
+        application — overridden by
+        :class:`repro.fault.reliability.ReliableConveyor` for checksum
+        verification and duplicate suppression.
+        """
+        self.delivered[pe].append((arrival, group))
 
     def finalize(self) -> None:
         """Flush everything and drain until quiescent."""

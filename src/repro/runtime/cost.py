@@ -74,6 +74,13 @@ class CostModel:
     #: doubling.  Leave False for PEs that merely aggregate per-core
     #: PEs for simulation speed.
     threaded: bool = False
+    #: Optional per-PE clock-dilation factors (straggler modelling,
+    #: :mod:`repro.fault`): every dt charged on PE ``i`` is multiplied
+    #: by ``dilation[i]``.  A factor of 1 is a healthy PE; 2 models a
+    #: core running at half speed (thermal throttling, a noisy
+    #: neighbour, a degraded NIC).  Wire latency ``tau`` is a fabric
+    #: property and is never dilated.
+    dilation: list[float] | None = None
 
     def __post_init__(self) -> None:
         m = self.machine
@@ -92,6 +99,8 @@ class CostModel:
         self.pe_ops = m.c_node * frac * eff
         self.pe_mem_bw = m.beta_mem * frac * eff
         self.pe_link_bw = m.beta_link * frac
+        if self.dilation is not None:
+            self.set_dilation(self.dilation)
 
     # -- geometry ----------------------------------------------------
 
@@ -106,11 +115,32 @@ class CostModel:
         p = max(2, self.n_pes)
         return self.machine.tau * math.log2(p)
 
+    # -- straggler dilation ------------------------------------------
+
+    def set_dilation(self, factors: "list[float] | None") -> None:
+        """Install (or clear) per-PE clock-dilation factors."""
+        if factors is None:
+            self.dilation = None
+            return
+        factors = [float(f) for f in factors]
+        if len(factors) != self.n_pes:
+            raise ValueError(
+                f"dilation needs one factor per PE ({self.n_pes}), got {len(factors)}"
+            )
+        if any(f < 1.0 for f in factors):
+            raise ValueError("dilation factors must be >= 1 (1 = healthy PE)")
+        self.dilation = factors
+
+    def _dilated(self, pe: PEStats, dt: float) -> float:
+        if self.dilation is None:
+            return dt
+        return dt * self.dilation[pe.pe]
+
     # -- charging primitives -----------------------------------------
 
     def charge_compute(self, pe: PEStats, ops: int | float) -> float:
         """Charge *ops* INT64 operations; returns the dt applied."""
-        dt = ops / self.pe_ops
+        dt = self._dilated(pe, ops / self.pe_ops)
         pe.compute_ops += int(ops)
         t0 = pe.clock
         pe.advance(dt)
@@ -120,7 +150,7 @@ class CostModel:
 
     def charge_mem(self, pe: PEStats, nbytes: int | float) -> float:
         """Charge intranode memory traffic of *nbytes*."""
-        dt = nbytes / self.pe_mem_bw
+        dt = self._dilated(pe, nbytes / self.pe_mem_bw)
         pe.mem_bytes += int(nbytes)
         t0 = pe.clock
         pe.advance(dt)
@@ -141,11 +171,11 @@ class CostModel:
         """
         m = self.machine
         if self.colocated(src.pe, dst_pe):
-            dt = m.local_latency + nbytes / self.pe_mem_bw
+            dt = self._dilated(src, m.local_latency + nbytes / self.pe_mem_bw)
             src.local_memcpy_bytes += nbytes
             src.advance(dt)
             return src.clock
-        dt = m.tau_inject + nbytes / self.pe_link_bw
+        dt = self._dilated(src, m.tau_inject + nbytes / self.pe_link_bw)
         src.puts_issued += 1
         src.bytes_sent += nbytes
         t0 = src.clock

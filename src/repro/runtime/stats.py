@@ -53,6 +53,12 @@ class PEStats:
     collectives: int = 0
     sync_wait_time: float = 0.0  # time wasted waiting at sync points
 
+    # Reliability / fault tolerance (repro.fault)
+    retransmits: int = 0  # groups re-sent after loss/corruption
+    dup_drops: int = 0  # duplicate deliveries discarded by dedup
+    acks_sent: int = 0  # acknowledgement messages sent by this PE
+    crashes: int = 0  # transient crashes suffered at phase boundaries
+
     def advance(self, dt: float) -> None:
         """Advance this PE's virtual clock by *dt* seconds."""
         if dt < 0:
@@ -81,6 +87,10 @@ _SUM_FIELDS = (
     "normal_elements_sent",
     "barriers",
     "collectives",
+    "retransmits",
+    "dup_drops",
+    "acks_sent",
+    "crashes",
 )
 
 
@@ -100,6 +110,9 @@ class RunStats:
     global_syncs: int = 0
     #: Peak per-PE aggregation-buffer memory (bytes), measured.
     peak_buffer_bytes_per_pe: int = 0
+    #: Virtual time spent recovering from faults (retransmit rounds,
+    #: crash restarts, checkpoint restores) — 0 on clean runs.
+    recovery_time: float = 0.0
     #: Real (host) seconds spent executing the run, for benchmarks.
     host_seconds: float = 0.0
     #: Free-form extras (algorithm-specific measurements).
@@ -174,5 +187,9 @@ class RunStats:
             "local_memcpy_bytes": self.total("local_memcpy_bytes"),
             "receive_imbalance": self.receive_imbalance(),
             "peak_buffer_bytes_per_pe": self.peak_buffer_bytes_per_pe,
+            "retransmits": self.total("retransmits"),
+            "dup_drops": self.total("dup_drops"),
+            "acks_sent": self.total("acks_sent"),
+            "recovery_time": self.recovery_time,
             "host_seconds": self.host_seconds,
         }

@@ -1,0 +1,124 @@
+"""Tests for repro.fault.models: plans, fates, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fault.models import FaultPlan
+from repro.runtime.cost import CostModel
+from repro.runtime.machine import laptop
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", [
+        "drop_prob", "duplicate_prob", "delay_prob", "reorder_prob", "corrupt_prob",
+    ])
+    def test_probabilities_bounded(self, field):
+        with pytest.raises(ValueError, match="must be in"):
+            FaultPlan(**{field: 1.5})
+        with pytest.raises(ValueError, match="must be in"):
+            FaultPlan(**{field: -0.1})
+
+    def test_nonnegative_times(self):
+        with pytest.raises(ValueError):
+            FaultPlan(delay_time=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(crash_restart_time=-1e-9)
+
+    def test_straggler_factor_at_least_one(self):
+        with pytest.raises(ValueError, match="straggler_factor"):
+            FaultPlan(straggler_factor=0.5)
+
+    def test_negative_pe_indices(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan(crash_pes=(-1,))
+
+
+class TestFate:
+    def test_benign_plan_draws_clean_fates(self):
+        plan = FaultPlan()
+        assert plan.benign and not plan.has_wire_faults
+        rng = plan.rng()
+        for _ in range(20):
+            assert plan.fate(rng).clean
+
+    def test_drop_all(self):
+        plan = FaultPlan(drop_prob=1.0)
+        rng = plan.rng()
+        assert all(plan.fate(rng).drop for _ in range(50))
+
+    def test_duplicate_all(self):
+        plan = FaultPlan(duplicate_prob=1.0)
+        rng = plan.rng()
+        assert all(plan.fate(rng).duplicate for _ in range(50))
+
+    def test_deterministic_across_replays(self):
+        plan = FaultPlan(seed=42, drop_prob=0.3, duplicate_prob=0.2,
+                         corrupt_prob=0.1, delay_prob=0.2, reorder_prob=0.2)
+        a_rng, b_rng = plan.rng(), plan.rng()
+        fates_a = [plan.fate(a_rng) for _ in range(200)]
+        fates_b = [plan.fate(b_rng) for _ in range(200)]
+        assert fates_a == fates_b
+
+    def test_different_seeds_differ(self):
+        kw = dict(drop_prob=0.5, duplicate_prob=0.5)
+        a = FaultPlan(seed=1, **kw)
+        b = FaultPlan(seed=2, **kw)
+        fa = [a.fate(a.rng()) for _ in range(1)]
+        ra, rb = a.rng(), b.rng()
+        fa = [a.fate(ra) for _ in range(50)]
+        fb = [b.fate(rb) for _ in range(50)]
+        assert fa != fb
+
+    def test_fate_rates_roughly_match_probabilities(self):
+        plan = FaultPlan(seed=0, drop_prob=0.25)
+        rng = plan.rng()
+        drops = sum(plan.fate(rng).drop for _ in range(2000))
+        assert 0.18 < drops / 2000 < 0.33
+
+
+class TestDilation:
+    def test_dilation_vector(self):
+        plan = FaultPlan(straggler_pes=(1, 3), straggler_factor=2.5)
+        assert plan.dilation(4) == [1.0, 2.5, 1.0, 2.5]
+
+    def test_no_stragglers_is_none(self):
+        assert FaultPlan().dilation(4) is None
+        assert FaultPlan(straggler_pes=(0,), straggler_factor=1.0).dilation(4) is None
+
+    def test_out_of_range_raises(self):
+        plan = FaultPlan(straggler_pes=(9,), straggler_factor=2.0)
+        with pytest.raises(ValueError, match="out of range"):
+            plan.dilation(4)
+
+    def test_cost_model_dilates_straggler_clock(self):
+        cost = CostModel(laptop(nodes=1, cores=4))
+        cost.set_dilation([1.0, 2.0, 1.0, 1.0])
+        from repro.runtime.stats import RunStats
+
+        stats = RunStats(n_pes=4)
+        cost.charge_compute(stats.pe[0], 1_000_000)
+        cost.charge_compute(stats.pe[1], 1_000_000)
+        assert stats.pe[1].clock == pytest.approx(2.0 * stats.pe[0].clock)
+
+    def test_dilation_validation(self):
+        cost = CostModel(laptop(nodes=1, cores=4))
+        with pytest.raises(ValueError, match="one factor per PE"):
+            cost.set_dilation([1.0])
+        with pytest.raises(ValueError, match=">= 1"):
+            cost.set_dilation([1.0, 0.5, 1.0, 1.0])
+        cost.set_dilation(None)
+        assert cost.dilation is None
+
+
+class TestDescribe:
+    def test_fault_free(self):
+        assert FaultPlan().describe() == "fault-free"
+
+    def test_describes_active_faults(self):
+        plan = FaultPlan(drop_prob=0.05, crash_pes=(2,),
+                         straggler_pes=(0,), straggler_factor=2.0)
+        text = plan.describe()
+        assert "drop=5.00%" in text
+        assert "crash=[2]" in text
+        assert "stragglers=[0]x2" in text

@@ -12,7 +12,7 @@ from repro.runtime.cost import CostModel
 from repro.runtime.machine import laptop
 from repro.runtime.memory import MemoryTracker
 from repro.runtime.stats import RunStats
-from repro.runtime.topology import HEADER_BYTES, make_topology
+from repro.runtime.topology import HEADER_BYTES, Topology1D, make_topology
 
 
 def make_conveyor(p=4, protocol="1D", c0=256, c1=8, nodes=2):
@@ -177,6 +177,126 @@ class TestValidation:
             Conveyor(cost, RunStats(n_pes=4), make_topology("1D", 4), c0_bytes=4)
         with pytest.raises(ValueError):
             Conveyor(cost, RunStats(n_pes=4), make_topology("1D", 4), c1_packets=0)
+
+
+class TestL1Accounting:
+    def test_l1_flush_charges_wire_bytes(self):
+        """The C1 staging copy moves the actual wire bytes — payload
+        plus routing headers on 2D — not a nominal 8 B per packet."""
+        conv, cost, stats, _ = make_conveyor(protocol="2D", c0=10_000, c1=2)
+        conv.inject(group(0, 3))  # 32 B payload + 4 B header each
+        assert stats.pe[0].mem_bytes == 0  # one packet: below C1
+        conv.inject(group(0, 3))
+        assert stats.pe[0].l1_flushes == 1
+        assert stats.pe[0].mem_bytes == 2 * (32 + HEADER_BYTES)
+
+    def test_l1_flush_charges_payload_on_1d(self):
+        conv, cost, stats, _ = make_conveyor(protocol="1D", c0=10_000, c1=2)
+        conv.inject(group(0, 2))
+        conv.inject(group(0, 2))
+        assert stats.pe[0].mem_bytes == 64
+
+    def test_partial_l1_batch_charged_at_flush(self):
+        """Packets short of a full C1 batch still pay their staging
+        copy when the L0 buffer is flushed (end-of-stream)."""
+        conv, cost, stats, _ = make_conveyor(protocol="1D", c0=10_000, c1=8)
+        for _ in range(3):
+            conv.inject(group(0, 2))
+        assert stats.pe[0].mem_bytes == 0  # still pending below C1
+        conv.flush_pe(0)
+        assert stats.pe[0].mem_bytes == 96
+        assert stats.pe[0].l0_flushes == 1
+
+
+class _CyclicTopology(Topology1D):
+    """Deliberately broken routing: every route detours through a
+    relay, so a relayed group never gets closer to its destination."""
+
+    max_hops = 2
+
+    def route(self, src, dst):
+        self._check(src, dst)
+        if src == dst:
+            return []
+        relay = next(q for q in range(self.p) if q not in (src, dst))
+        return [relay, dst]
+
+
+class TestDrainTermination:
+    def test_cyclic_route_hits_hop_bound(self):
+        """drain() must terminate within the topology hop bound — a
+        routing cycle raises instead of spinning for millions of
+        iterations."""
+        m = laptop(nodes=2, cores=2)
+        cost = CostModel(m)
+        stats = RunStats(n_pes=4)
+        conv = Conveyor(cost, stats, _CyclicTopology(4), c0_bytes=32)
+        conv.inject(group(0, 1))
+        with pytest.raises(RuntimeError, match="hop bound"):
+            conv.finalize()
+
+    @pytest.mark.parametrize("protocol", ["2D", "3D"])
+    def test_relay_work_within_hop_bound(self, protocol):
+        """Each packet is relayed at most max_hops - 1 times."""
+        p = 16
+        conv, cost, stats, _ = make_conveyor(p=p, protocol=protocol, nodes=4, c0=64)
+        rng = np.random.default_rng(1)
+        n_groups = 80
+        for _ in range(n_groups):
+            s, d = rng.integers(0, p, size=2)
+            conv.inject(group(int(s), int(d)))
+        conv.finalize()
+        max_relays = conv.topology.max_hops - 1
+        assert stats.total("hops_forwarded") <= n_groups * max_relays
+
+
+class TestFlushFinalizeEdgeCases:
+    def test_flush_empty_buffers_is_noop(self):
+        conv, cost, stats, _ = make_conveyor()
+        conv.flush_pe(0)
+        conv.flush_all()
+        assert stats.pe[0].l0_flushes == 0
+        assert stats.pe[0].mem_bytes == 0
+        assert stats.pe[0].clock == 0.0
+
+    def test_finalize_self_sends_only(self):
+        conv, cost, stats, _ = make_conveyor()
+        for pe in range(4):
+            conv.inject(group(pe, pe))
+        conv.finalize()
+        for pe in range(4):
+            assert conv.delivered_elements(pe) == 4
+            assert conv.staged_bytes(pe) == 0
+        assert stats.total("puts_issued") == 0
+
+    def test_finalize_idempotent(self):
+        conv, cost, stats, _ = make_conveyor(c0=10_000)
+        conv.inject(group(0, 2))
+        conv.finalize()
+        delivered = conv.delivered_elements(2)
+        clock = stats.pe[0].clock
+        conv.finalize()
+        assert conv.delivered_elements(2) == delivered
+        assert stats.pe[0].clock == clock
+
+    @pytest.mark.parametrize("protocol", ["2D", "3D"])
+    def test_relay_restocked_buffers_fully_drained(self, protocol):
+        """Relays restock send buffers mid-drain; finalize must loop
+        until no PE holds staged bytes anywhere."""
+        p = 16
+        conv, cost, stats, _ = make_conveyor(p=p, protocol=protocol, nodes=4,
+                                             c0=100_000)
+        rng = np.random.default_rng(2)
+        sent = np.zeros(p, dtype=int)
+        for _ in range(60):
+            s, d = rng.integers(0, p, size=2)
+            conv.inject(group(int(s), int(d)))
+            sent[d] += 4
+        conv.finalize()
+        for pe in range(p):
+            assert conv.staged_bytes(pe) == 0
+            assert conv.delivered_elements(pe) == sent[pe]
+        assert not conv._in_flight
 
 
 @given(st.integers(2, 24), st.sampled_from(["1D", "2D", "3D"]), st.integers(0, 10_000))

@@ -1,0 +1,33 @@
+"""Tests for the `dakc chaos` CLI subcommand."""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+
+class TestChaosCommand:
+    def test_chaos_campaign_passes(self, capsys):
+        rc = main(["chaos", "--dataset", "synthetic-20", "-k", "17",
+                   "--nodes", "2", "--budget", "30000",
+                   "--drop", "0.02", "--crash", "1", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out
+        assert "reliable" in out and "bare" in out
+        assert "DeliveryIntegrityError" in out  # unprotected detection row
+        assert "fault-free" in out
+
+    def test_chaos_straggler_and_protocol(self, capsys):
+        rc = main(["chaos", "--dataset", "synthetic-20", "-k", "17",
+                   "--nodes", "2", "--budget", "20000", "--protocol", "2D",
+                   "--drop", "0.01", "--straggler", "0",
+                   "--straggler-factor", "2.0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stragglers=[0]x2" in out
+
+    def test_bad_machine_preset(self):
+        assert main(["chaos", "--machine", "cray-1", "--budget", "1000"]) == 2
+
+    def test_bad_protocol(self):
+        assert main(["chaos", "--protocol", "9D", "--budget", "1000"]) == 2
