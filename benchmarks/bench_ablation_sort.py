@@ -1,6 +1,5 @@
 """Ablation (DESIGN.md #1): sort choice inside the BSP baseline."""
 
-from repro.bench.harness import run_point
 from repro.bench.workloads import build_workload
 from repro.core.bsp import BspConfig, bsp_count
 from repro.runtime.cost import CostModel

@@ -1,7 +1,5 @@
 """Extension bench: 128-bit k-mer counting (k <= 64, Sec. VII)."""
 
-import numpy as np
-
 from repro.core.bigcount import dakc_count_big, serial_count_big
 from repro.runtime.cost import CostModel
 from repro.runtime.machine import phoenix_intel

@@ -1,7 +1,6 @@
 """Fig. 4: phase execution times — model vs simulated measurement."""
 
 from _common import rows_of, run_and_record
-from repro.bench.tables import format_time
 
 
 def _seconds(cell: str) -> float:

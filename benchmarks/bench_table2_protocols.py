@@ -1,6 +1,6 @@
 """Table II: Conveyors protocol properties (topology, memory, hops)."""
 
-from _common import parse_speedup, rows_of, run_and_record
+from _common import rows_of, run_and_record
 
 
 def test_table2_protocols(benchmark):

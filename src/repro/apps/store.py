@@ -5,24 +5,34 @@ Two formats:
 * **binary** (``.npz``) — the native format: the ordered key/count
   arrays compressed with NumPy, plus metadata (k, canonical flag).
   Loads back bit-exact.
-* **text** (``.tsv``) — interoperable dump, one ``KMER<TAB>count`` row
-  per distinct k-mer (what ``jellyfish dump`` / ``kmc_tools dump``
-  produce), for feeding external tools.
+* **text** (``.tsv`` / ``.tsv.gz``) — interoperable dump, one
+  ``KMER<TAB>count`` row per distinct k-mer (what ``jellyfish dump``
+  / ``kmc_tools dump`` produce), for feeding external tools.  Paths
+  ending in ``.gz`` are gzip-compressed transparently in both
+  directions.
 """
 
 from __future__ import annotations
 
+import gzip
 import os
 from pathlib import Path
 
 import numpy as np
 
 from ..core.result import KmerCounts
-from ..seq.kmers import kmer_to_str, str_to_kmer
+from ..seq.kmers import str_to_kmer
 
 __all__ = ["save_counts", "load_counts", "dump_text", "load_text"]
 
 _FORMAT_VERSION = 1
+
+
+def _open_text(path: Path, mode: str):
+    """Open a text dump, gzip-compressed iff the path ends in .gz."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
 
 
 def save_counts(path: str | os.PathLike, counts: KmerCounts,
@@ -51,28 +61,48 @@ def load_counts(path: str | os.PathLike) -> tuple[KmerCounts, bool]:
         return kc, bool(data["canonical"])
 
 
+def _decode_kmer_strings(kmers: np.ndarray, k: int) -> list[str]:
+    """Vectorised k-mer -> DNA-string decode for a whole array.
+
+    Extracts every 2-bit code with one shift/mask per position (k
+    passes over the array, not one Python loop per k-mer), gathers the
+    base letters into an ``(n, k)`` byte matrix and slices row strings
+    out of its buffer.
+    """
+    arr = np.asarray(kmers, dtype=np.uint64)
+    shifts = np.arange(2 * (k - 1), -1, -2, dtype=np.uint64)
+    codes = (arr[:, None] >> shifts) & np.uint64(3)
+    letters = np.frombuffer(b"ACGT", dtype=np.uint8)[codes.astype(np.intp)]
+    blob = letters.tobytes()
+    return [blob[i : i + k].decode("ascii") for i in range(0, len(blob), k)]
+
+
 def dump_text(path: str | os.PathLike, counts: KmerCounts) -> int:
-    """Dump as ``KMER<TAB>count`` text; returns rows written."""
-    n = 0
-    with open(Path(path), "w") as fh:
-        for kmer, count in zip(counts.kmers.tolist(), counts.counts.tolist()):
-            fh.write(f"{kmer_to_str(kmer, counts.k)}\t{count}\n")
-            n += 1
-    return n
+    """Dump as ``KMER<TAB>count`` text; returns rows written.
+
+    A ``.gz`` path writes a gzip-compressed dump.
+    """
+    strs = _decode_kmer_strings(counts.kmers, counts.k)
+    with _open_text(Path(path), "w") as fh:
+        fh.writelines(
+            f"{s}\t{count}\n" for s, count in zip(strs, counts.counts.tolist())
+        )
+    return len(strs)
 
 
 def load_text(path: str | os.PathLike, k: int | None = None) -> KmerCounts:
-    """Load a ``KMER<TAB>count`` text dump back into a KmerCounts."""
+    """Load a ``KMER<TAB>count`` text dump (plain or ``.gz``) back."""
     keys: list[int] = []
     vals: list[int] = []
     inferred_k = k
-    with open(Path(path)) as fh:
+    with _open_text(Path(path), "r") as fh:
         for line_no, line in enumerate(fh, 1):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
             try:
                 kmer_s, count_s = line.split("\t")
+                count = int(count_s)
             except ValueError as exc:
                 raise ValueError(f"{path}:{line_no}: malformed row") from exc
             if inferred_k is None:
@@ -82,7 +112,7 @@ def load_text(path: str | os.PathLike, k: int | None = None) -> KmerCounts:
                     f"{path}:{line_no}: k-mer length {len(kmer_s)} != {inferred_k}"
                 )
             keys.append(str_to_kmer(kmer_s))
-            vals.append(int(count_s))
+            vals.append(count)
     if inferred_k is None:
         raise ValueError(f"{path}: empty dump and no k given")
     return KmerCounts.from_pairs(

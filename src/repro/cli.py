@@ -11,6 +11,8 @@ Subcommands:
 * ``simulate`` — generate a synthetic FASTQ replica to disk.
 * ``chaos``    — fault-injection campaign: DAKC on a lossy fabric with
   the reliability/checkpoint layer, validated against the serial oracle.
+* ``serve-bench`` — query-serving benchmark: the sharded/batched/cached
+  read path vs. naive per-query lookups on a Zipf workload.
 """
 
 from __future__ import annotations
@@ -54,7 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_count.add_argument("--output", help="write counts as TSV to this path")
     p_count.add_argument("--save", help="write counts as a binary .npz database")
 
-    p_data = sub.add_parser("datasets", help="print Table V")
+    sub.add_parser("datasets", help="print Table V")
 
     p_model = sub.add_parser("model", help="evaluate the analytical model (Sec. V)")
     p_model.add_argument("--dataset", default="synthetic-30")
@@ -133,6 +135,44 @@ def build_parser() -> argparse.ArgumentParser:
                          help="clock dilation of straggler PEs (>= 1)")
     p_chaos.add_argument("--seed", type=int, default=0)
 
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="query-serving benchmark: naive scalar lookups vs. the "
+        "sharded/batched/cached engine on a Zipf workload",
+    )
+    serve_src = p_serve.add_mutually_exclusive_group()
+    serve_src.add_argument("--database", help=".npz count database to serve "
+                           "(written by `count --save`)")
+    serve_src.add_argument("--dataset", default="synthetic-20",
+                           help="Table V dataset key to count and serve")
+    p_serve.add_argument("-k", type=int, default=15, help="k-mer length")
+    p_serve.add_argument("--budget", type=int, default=100_000,
+                         help="replica k-mer budget when using --dataset")
+    p_serve.add_argument("--queries", type=int, default=40_000,
+                         help="queries in the generated stream")
+    p_serve.add_argument("--shards", type=int, default=8,
+                         help="virtual shards (splitmix64-partitioned)")
+    p_serve.add_argument("--zipf", type=float, default=1.1,
+                         help="Zipf exponent of key popularity")
+    p_serve.add_argument("--miss-fraction", type=float, default=0.02,
+                         help="fraction of queries for absent keys")
+    p_serve.add_argument("--batch-size", type=int, default=256,
+                         help="micro-batch coalescing target (keys)")
+    p_serve.add_argument("--batch-window", type=float, default=5e-4,
+                         help="seconds a partial batch waits for company")
+    p_serve.add_argument("--max-inflight", type=int, default=8192,
+                         help="admission bound in keys (backpressure)")
+    p_serve.add_argument("--cache-capacity", type=int, default=4096,
+                         help="hot-key cache slots (0 disables the cache)")
+    p_serve.add_argument("--cache-threshold", type=int, default=2,
+                         help="sightings before a key earns a cache slot")
+    p_serve.add_argument("--group-size", type=int, default=256,
+                         help="keys per client arrival group")
+    p_serve.add_argument("--concurrency", type=int, default=8,
+                         help="client groups kept in flight")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--json", help="write the metrics snapshot here")
+
     p_tl = sub.add_parser("timeline", help="ASCII Gantt of a simulated run")
     p_tl.add_argument("--dataset", default="synthetic-20")
     p_tl.add_argument("-k", type=int, default=31)
@@ -140,6 +180,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_tl.add_argument("--nodes", type=int, default=2)
     p_tl.add_argument("--budget", type=int, default=100_000)
     p_tl.add_argument("--width", type=int, default=100)
+    p_tl.add_argument("--chrome", help="also write Chrome trace-event JSON "
+                      "here (open in Perfetto / chrome://tracing)")
 
     return parser
 
@@ -187,9 +229,9 @@ def _cmd_count(args) -> int:
         for c in range(1, len(spec)):
             print(f"{c}\t{int(spec[c])}")
     if args.output:
-        with open(args.output, "w") as fh:
-            for kmer, count in zip(kc.kmers.tolist(), kc.counts.tolist()):
-                fh.write(f"{kmer_to_str(kmer, args.k)}\t{count}\n")
+        from .apps.store import dump_text
+
+        dump_text(args.output, kc)
         print(f"# wrote {kc.n_distinct} rows to {args.output}")
     if args.save:
         from .apps.store import save_counts
@@ -297,7 +339,7 @@ def _cmd_timeline(args) -> int:
     from .bench.workloads import build_workload
     from .runtime.cost import CostModel
     from .runtime.machine import phoenix_intel
-    from .runtime.trace import Tracer, render_gantt
+    from .runtime.trace import Tracer, render_gantt, to_chrome_trace
 
     w = build_workload(args.dataset, args.k, budget_kmers=args.budget)
     tracer = Tracer()
@@ -321,6 +363,10 @@ def _cmd_timeline(args) -> int:
     print(f"# {args.algorithm} on {w.spec.display} replica, {args.nodes} nodes, "
           f"{stats.global_syncs} global syncs, sim time {stats.sim_time:.3g}s")
     print(render_gantt(tracer, width=args.width))
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            fh.write(to_chrome_trace(tracer))
+        print(f"# wrote Chrome trace ({len(tracer.spans)} spans) to {args.chrome}")
     return 0
 
 
@@ -359,6 +405,70 @@ def _cmd_chaos(args) -> int:
     outcomes = chaos_sweep(w.reads, args.k, cost, plans, config=config)
     print(format_report(outcomes))
     return 0 if all(o.passed for o in outcomes) else 1
+
+
+def _cmd_serve_bench(args) -> int:
+    from .serve import EngineConfig, run_serve_bench
+
+    if args.database:
+        from .apps.store import load_counts
+
+        kc, _ = load_counts(args.database)
+        source = args.database
+    else:
+        from .bench.workloads import build_workload
+        from .core.serial import serial_count
+
+        w = build_workload(args.dataset, args.k, budget_kmers=args.budget)
+        kc = serial_count(w.reads, args.k)
+        source = f"{w.spec.display} (replica)"
+
+    config = EngineConfig(
+        batch_size=args.batch_size,
+        batch_window=args.batch_window,
+        max_inflight=args.max_inflight,
+    )
+    result = run_serve_bench(
+        kc,
+        n_queries=args.queries,
+        n_shards=args.shards,
+        zipf_s=args.zipf,
+        seed=args.seed,
+        miss_fraction=args.miss_fraction,
+        config=config,
+        cache_capacity=args.cache_capacity,
+        cache_threshold=args.cache_threshold,
+        group_size=args.group_size,
+        concurrency=args.concurrency,
+    )
+    naive, served = result.naive.snapshot(), result.served.snapshot()
+    print(f"# database:   {source}  ({kc.n_distinct:,} distinct, k={kc.k})")
+    print(f"# workload:   {args.queries:,} queries, Zipf({args.zipf}), "
+          f"seed {args.seed}, {args.miss_fraction:.0%} misses")
+    print(f"# engine:     {args.shards} shards, batch<={args.batch_size}, "
+          f"window {args.batch_window * 1e3:.2f} ms, "
+          f"cache {args.cache_capacity} slots (admit>={args.cache_threshold})")
+    print(f"# answers match: {result.answers_match}")
+    for label, snap in (("naive", naive), ("served", served)):
+        lat = snap["latency_ms"]
+        print(f"# {label:>6}: {snap['throughput_qps']:>12,.0f} qps   "
+              f"p50 {lat['p50']:.3f} ms   p99 {lat['p99']:.3f} ms")
+    print(f"# cache hit rate: {served['cache']['hit_rate']:.1%}   "
+          f"mean batch: {served['batching']['mean_batch_size']:.1f} keys   "
+          f"rejected: {served['queue']['rejected']}")
+    print(f"# speedup (served/naive): {result.speedup:.2f}x")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(result.to_doc(), fh, indent=2)
+            fh.write("\n")
+        print(f"# wrote metrics snapshot to {args.json}")
+    if not result.answers_match:
+        print("error: served answers diverged from the naive oracle",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_datasets(_args) -> int:
@@ -446,6 +556,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "simulate": _cmd_simulate,
     "chaos": _cmd_chaos,
+    "serve-bench": _cmd_serve_bench,
     "analyze": _cmd_analyze,
     "compare": _cmd_compare,
     "timeline": _cmd_timeline,

@@ -15,7 +15,7 @@ sender's buffers stay pristine — a retransmission resends good data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -28,7 +28,7 @@ from .memory import (
     table3_rows,
 )
 from .stats import PEStats, RunStats
-from .trace import Span, Tracer, render_gantt
+from .trace import Span, Tracer, render_gantt, to_chrome_trace
 from .topology import (
     HEADER_BYTES,
     Topology,
@@ -71,4 +71,5 @@ __all__ = [
     "Tracer",
     "Span",
     "render_gantt",
+    "to_chrome_trace",
 ]

@@ -4,14 +4,17 @@ A :class:`Tracer` records (pe, start, end, kind) spans during a
 simulated execution and renders them as an ASCII Gantt chart — the
 poor man's version of the timeline views HPC profilers give, useful
 for *seeing* DAKC's asynchrony vs the BSP baselines' barrier walls
-(see ``examples/timeline_visualization.py``).
+(see ``examples/timeline_visualization.py``).  For real timeline
+tooling, :func:`to_chrome_trace` exports the same spans as Chrome
+trace-event JSON loadable in Perfetto / ``chrome://tracing``.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
-__all__ = ["Span", "Tracer", "render_gantt"]
+__all__ = ["Span", "Tracer", "render_gantt", "to_chrome_trace"]
 
 #: Kind -> glyph used in the Gantt rendering.
 GLYPHS = {
@@ -70,6 +73,52 @@ class Tracer:
 
     def total_time(self) -> float:
         return max((s.end for s in self.spans), default=0.0)
+
+
+def to_chrome_trace(
+    tracer: Tracer, *, process_name: str = "simulated machine"
+) -> str:
+    """Export spans as Chrome trace-event JSON (Perfetto-loadable).
+
+    Each span becomes a complete ("ph": "X") duration event: one
+    process for the simulated machine, one thread per PE, simulated
+    seconds mapped to trace microseconds.  Thread-name metadata events
+    label each PE row, so the Perfetto timeline reads ``PE 0..P-1``.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for pe in sorted({s.pe for s in tracer.spans}):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": pe,
+                "args": {"name": f"PE {pe}"},
+            }
+        )
+    for span in sorted(tracer.spans, key=lambda s: (s.start, s.pe)):
+        events.append(
+            {
+                "name": span.kind,
+                "cat": span.kind,
+                "ph": "X",
+                "pid": 0,
+                "tid": span.pe,
+                "ts": span.start * 1e6,   # trace time unit is microseconds
+                "dur": (span.end - span.start) * 1e6,
+            }
+        )
+    return json.dumps(
+        {"traceEvents": events, "displayTimeUnit": "ms"}, indent=1
+    )
 
 
 def render_gantt(tracer: Tracer, *, width: int = 80, n_pes: int | None = None) -> str:

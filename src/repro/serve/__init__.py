@@ -1,0 +1,45 @@
+"""repro.serve — the read path: serving k-mer counts under load.
+
+The counting layers (:mod:`repro.core`) build an ordered count
+database; this package answers queries against it at service scale:
+
+* :mod:`repro.serve.shards` — splitmix64-sharded sorted-array stores
+  with vectorised batch lookups;
+* :mod:`repro.serve.engine` — asyncio front end: bounded admission
+  (:class:`Overloaded` backpressure), per-shard micro-batching, and a
+  naive one-at-a-time baseline to measure against;
+* :mod:`repro.serve.cache` — hot-key LRU with L3-style heavy-hitter
+  admission;
+* :mod:`repro.serve.workload` — seeded Zipf open-loop load generation
+  from a real counted spectrum;
+* :mod:`repro.serve.metrics` — throughput, queue depth, cache hit
+  rate, and latency-percentile accounting with JSON snapshots.
+
+See ``docs/SERVING.md`` for the design and its mapping onto the
+paper's heavy-hitter (L3) argument.
+"""
+
+from .bench import ServeBenchResult, run_serve_bench
+from .cache import HotKeyCache
+from .engine import EngineConfig, Overloaded, QueryEngine, naive_serve, replay
+from .metrics import LatencyHistogram, ServeMetrics
+from .shards import Shard, ShardedStore
+from .workload import QueryWorkload, arrival_groups, zipf_workload
+
+__all__ = [
+    "Shard",
+    "ShardedStore",
+    "HotKeyCache",
+    "EngineConfig",
+    "Overloaded",
+    "QueryEngine",
+    "naive_serve",
+    "replay",
+    "LatencyHistogram",
+    "ServeMetrics",
+    "QueryWorkload",
+    "zipf_workload",
+    "arrival_groups",
+    "ServeBenchResult",
+    "run_serve_bench",
+]

@@ -1,0 +1,113 @@
+"""Hot-key cache with heavy-hitter admission.
+
+Hashing spreads *distinct* k-mers across shards but concentrates every
+occurrence of one heavy-hitter key on one owner — the imbalance the
+paper's L3 protocol attacks on the write path by absorbing heavy
+updates locally.  Serving has the mirror problem: a Zipf-skewed query
+stream hammers the hot key's shard.  The mirror fix is a small
+front-side cache that answers the heavy hitters before they reach the
+shard queues.
+
+Plain LRU caches are churned by one-hit wonders (a long tail of keys
+seen once evicts the genuinely hot set).  :class:`HotKeyCache` applies
+the L3 admission idea to the cache itself: a key must be *seen* at
+least ``admit_threshold`` times before it earns a slot, tracked by a
+bounded second-chance counter table, so only traffic-proven heavy
+hitters occupy cache capacity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["HotKeyCache"]
+
+
+class HotKeyCache:
+    """Bounded LRU over ``key -> count`` with threshold admission.
+
+    * :meth:`get` — cache lookup; refreshes recency on a hit.
+    * :meth:`offer` — present a key/value seen at the store; it is
+      admitted once its observation count reaches *admit_threshold*
+      (``1`` = classic LRU, admit on first sight).
+
+    The candidate counter table is itself LRU-bounded (default 4x the
+    cache capacity) so cold keys cannot grow state without bound —
+    the same fixed-footprint discipline as the L3 heavy-hitter table.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        admit_threshold: int = 1,
+        candidate_capacity: int | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if admit_threshold < 1:
+            raise ValueError("admit_threshold must be >= 1")
+        self.capacity = capacity
+        self.admit_threshold = admit_threshold
+        self.candidate_capacity = (
+            4 * capacity if candidate_capacity is None else candidate_capacity
+        )
+        self._data: OrderedDict[int, int] = OrderedDict()
+        self._seen: OrderedDict[int, int] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._data
+
+    def get(self, key: int) -> int | None:
+        """Cached count for *key*, or None on a miss."""
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def offer(self, key: int, value: int) -> bool:
+        """Record a store-answered key; admit it if it proved hot.
+
+        Returns True if the key is (now) resident.
+        """
+        if key in self._data:
+            # Keep resident entries fresh (counts can change under
+            # rebuilds) without burning an admission observation.
+            self._data[key] = value
+            self._data.move_to_end(key)
+            return True
+        seen = self._seen.get(key, 0) + 1
+        if seen < self.admit_threshold:
+            self._seen[key] = seen
+            self._seen.move_to_end(key)
+            if len(self._seen) > self.candidate_capacity:
+                self._seen.popitem(last=False)
+            return False
+        self._seen.pop(key, None)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+        return True
+
+    def invalidate(self, key: int) -> bool:
+        """Drop one key (e.g. after a database rebuild)."""
+        return self._data.pop(key, None) is not None
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._seen.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        seen = self.hits + self.misses
+        return self.hits / seen if seen else 0.0

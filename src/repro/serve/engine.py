@@ -1,0 +1,312 @@
+"""Asyncio query engine: admission control, micro-batching, caching.
+
+The serving pipeline for one query is::
+
+    client --> admission gate --> hot-key cache --> per-shard queue
+                  (Overloaded)       (L3-style)         |
+                                                   micro-batcher
+                                                 (size/window coalesce)
+                                                        |
+                                              one np.searchsorted per flush
+
+Three mechanisms carry the performance argument:
+
+* **Bounded admission** — the engine tracks keys in flight and rejects
+  work past ``max_inflight`` with a typed :class:`Overloaded` error
+  instead of queueing unboundedly.  Explicit backpressure: the load
+  generator sees rejections, latency stays bounded, memory stays flat.
+* **Micro-batching** — per-shard workers coalesce queued requests up
+  to ``batch_size`` keys or a ``batch_window`` timer and answer each
+  flush with *one* vectorised lookup, amortising the per-call Python
+  and NumPy overhead that makes one-at-a-time serving slow.
+* **Hot-key caching** — a :class:`~repro.serve.cache.HotKeyCache`
+  in front of the queues absorbs the Zipf head before it concentrates
+  on one shard (the read-path analogue of the paper's L3 heavy-hitter
+  aggregation).
+
+Requests enter as key *chunks* (a single key is a chunk of one): the
+batch API :meth:`QueryEngine.query_many` routes a client batch to its
+shards with one vectorised owner computation, which is how a load
+generator standing in for thousands of concurrent single-key clients
+submits an arrival tick's worth of traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cache import HotKeyCache
+from .metrics import ServeMetrics
+from .shards import ShardedStore
+
+__all__ = ["Overloaded", "EngineConfig", "QueryEngine", "naive_serve", "replay"]
+
+
+class Overloaded(RuntimeError):
+    """Admission queue full: the request was rejected, not queued.
+
+    Carries ``inflight`` (keys currently admitted) and ``limit`` so
+    clients can implement informed retry/shedding policies.
+    """
+
+    def __init__(self, inflight: int, limit: int):
+        super().__init__(f"engine overloaded: {inflight} keys in flight (limit {limit})")
+        self.inflight = inflight
+        self.limit = limit
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs for :class:`QueryEngine`."""
+
+    batch_size: int = 256        # keys per flush (coalescing target)
+    batch_window: float = 5e-4   # seconds a partial batch waits for company
+    max_inflight: int = 8192     # admission bound, in keys
+    workers_per_shard: int = 1   # concurrent micro-batchers per shard
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.workers_per_shard < 1:
+            raise ValueError("workers_per_shard must be >= 1")
+
+
+class _Chunk:
+    """Keys of one request bound for one shard, plus their reply slot."""
+
+    __slots__ = ("keys", "future")
+
+    def __init__(self, keys: np.ndarray, future: asyncio.Future):
+        self.keys = keys
+        self.future = future
+
+
+class QueryEngine:
+    """Sharded, batched, cached query front end over a ShardedStore."""
+
+    def __init__(
+        self,
+        store: ShardedStore,
+        config: EngineConfig | None = None,
+        *,
+        cache: HotKeyCache | None = None,
+        metrics: ServeMetrics | None = None,
+    ):
+        self.store = store
+        self.config = config or EngineConfig()
+        self.cache = cache
+        self.metrics = metrics or ServeMetrics()
+        self._queues: list[asyncio.Queue] = []
+        self._workers: list[asyncio.Task] = []
+        self._inflight = 0
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        if self._running:
+            return
+        self._queues = [asyncio.Queue() for _ in range(self.store.n_shards)]
+        self._workers = [
+            asyncio.create_task(self._worker(sid))
+            for sid in range(self.store.n_shards)
+            for _ in range(self.config.workers_per_shard)
+        ]
+        self._running = True
+
+    async def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        self._queues = []
+
+    async def __aenter__(self) -> "QueryEngine":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    @property
+    def inflight(self) -> int:
+        """Keys admitted and not yet answered."""
+        return self._inflight
+
+    # -- query paths ---------------------------------------------------
+
+    async def query(self, key: int) -> int:
+        """Answer one key (a chunk of one; pays the batching window)."""
+        result = await self.query_many(np.array([key], dtype=np.uint64))
+        return int(result[0])
+
+    async def query_many(self, keys: np.ndarray) -> np.ndarray:
+        """Answer a client batch of keys; returns counts (0 = absent).
+
+        Raises :class:`Overloaded` (rejecting the whole batch) when
+        admitting it would exceed ``max_inflight`` keys.
+        """
+        if not self._running:
+            raise RuntimeError("engine not started (use `async with` or start())")
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = int(keys.size)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._inflight + n > self.config.max_inflight:
+            self.metrics.rejected += n
+            raise Overloaded(self._inflight, self.config.max_inflight)
+        t0 = time.perf_counter()
+        out = np.zeros(n, dtype=np.int64)
+
+        # Hot-key cache pass: answer the Zipf head without queueing.
+        if self.cache is not None:
+            cache_get = self.cache.get
+            miss_pos = [i for i, key in enumerate(keys.tolist())
+                        if self._cached(cache_get, key, out, i)]
+        else:
+            miss_pos = range(n)
+        miss_idx = np.fromiter(miss_pos, dtype=np.int64)
+        n_miss = int(miss_idx.size)
+        self.metrics.cache_hits += n - n_miss
+        self.metrics.cache_misses += n_miss
+
+        if n_miss:
+            miss_keys = keys[miss_idx]
+            owners = np.asarray(self.store.shard_of(miss_keys))
+            self._inflight += n_miss
+            futures = []
+            positions = []
+            for sid in np.unique(owners):
+                mask = owners == sid
+                chunk = _Chunk(miss_keys[mask], asyncio.get_running_loop().create_future())
+                self._queues[int(sid)].put_nowait(chunk)
+                futures.append(chunk.future)
+                positions.append(miss_idx[mask])
+            answered = await asyncio.gather(*futures)
+            for pos, vals in zip(positions, answered):
+                out[pos] = vals
+
+        self.metrics.latency.record(time.perf_counter() - t0, weight=n)
+        self.metrics.n_queries += n
+        self.metrics.n_found += int((out > 0).sum())
+        return out
+
+    @staticmethod
+    def _cached(cache_get, key: int, out: np.ndarray, i: int) -> bool:
+        """Fill out[i] from cache; True means *miss* (key still needed)."""
+        value = cache_get(key)
+        if value is None:
+            return True
+        out[i] = value
+        return False
+
+    # -- micro-batching workers ---------------------------------------
+
+    async def _worker(self, sid: int) -> None:
+        queue = self._queues[sid]
+        cfg = self.config
+        while True:
+            chunk = await queue.get()
+            batch = [chunk]
+            n_keys = int(chunk.keys.size)
+            if cfg.batch_window > 0 and n_keys < cfg.batch_size and queue.empty():
+                # Lone partial batch: wait one window for company.
+                await asyncio.sleep(cfg.batch_window)
+            while n_keys < cfg.batch_size and not queue.empty():
+                more = queue.get_nowait()
+                batch.append(more)
+                n_keys += int(more.keys.size)
+            self.metrics.observe_queue_depth(queue.qsize())
+            self._flush(sid, batch, n_keys)
+
+    def _flush(self, sid: int, batch: list[_Chunk], n_keys: int) -> None:
+        """One vectorised lookup answering every chunk in the batch."""
+        if len(batch) == 1:
+            all_keys = batch[0].keys
+        else:
+            all_keys = np.concatenate([c.keys for c in batch])
+        values = self.store.lookup_batch(sid, all_keys)
+        offset = 0
+        for chunk in batch:
+            end = offset + int(chunk.keys.size)
+            if not chunk.future.done():
+                chunk.future.set_result(values[offset:end])
+            offset = end
+        self._inflight -= n_keys
+        self.metrics.n_batches += 1
+        self.metrics.batched_keys += n_keys
+        if self.cache is not None:
+            offer = self.cache.offer
+            for key, value in zip(all_keys.tolist(), values.tolist()):
+                offer(key, value)
+
+
+def naive_serve(
+    store: ShardedStore, keys: np.ndarray, metrics: ServeMetrics | None = None
+) -> tuple[np.ndarray, ServeMetrics]:
+    """The baseline: answer each query with its own scalar lookup.
+
+    No batching, no caching, no queueing — the loop anyone writes
+    first, and the per-query overhead wall the engine exists to beat.
+    """
+    metrics = metrics or ServeMetrics()
+    keys = np.asarray(keys, dtype=np.uint64)
+    out = np.empty(keys.size, dtype=np.int64)
+    get = store.get
+    record = metrics.latency.record
+    clock = time.perf_counter
+    t_start = clock()
+    for i, key in enumerate(keys.tolist()):
+        t0 = clock()
+        out[i] = get(key)
+        record(clock() - t0)
+    metrics.elapsed = clock() - t_start
+    metrics.n_queries += int(keys.size)
+    metrics.n_found += int((out > 0).sum())
+    return out, metrics
+
+
+async def replay(
+    engine: QueryEngine,
+    keys: np.ndarray,
+    *,
+    group_size: int = 256,
+    concurrency: int = 8,
+) -> np.ndarray:
+    """Drive a key stream through the engine and time it.
+
+    Splits *keys* into arrival groups of *group_size* (one group ~ one
+    open-loop tick of concurrent single-key clients) and keeps up to
+    *concurrency* groups in flight.  Rejected groups resolve to zeros
+    and are counted in ``metrics.rejected``.  Sets ``metrics.elapsed``
+    to the wall-clock span of the whole replay.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    groups = [keys[i : i + group_size] for i in range(0, keys.size, group_size)]
+    results: list[np.ndarray | None] = [None] * len(groups)
+    gate = asyncio.Semaphore(concurrency)
+
+    async def one(i: int, group: np.ndarray) -> None:
+        async with gate:
+            try:
+                results[i] = await engine.query_many(group)
+            except Overloaded:
+                results[i] = np.zeros(group.size, dtype=np.int64)
+
+    t_start = time.perf_counter()
+    await asyncio.gather(*(one(i, g) for i, g in enumerate(groups)))
+    engine.metrics.elapsed = time.perf_counter() - t_start
+    if not results:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(results)

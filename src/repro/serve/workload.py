@@ -1,0 +1,139 @@
+"""Seeded open-loop query workloads over a counted spectrum.
+
+Serving benchmarks live or die by their key-popularity model.  Real
+k-mer query traffic is doubly skewed: the *database* counts follow the
+spectrum's heavy tail (repeats), and *query* popularity follows the
+usual Zipf law of request streams.  :func:`zipf_workload` composes
+both: keys are ranked by their database count (heaviest k-mer =
+hottest query — the repeat everyone's pipeline keeps probing) and
+drawn with probability proportional to ``rank^-s``, so the resulting
+stream concentrates on exactly the keys whose *updates* concentrated
+on one PE during counting (the L3 heavy hitters).
+
+Everything is derived from a single ``numpy`` seed: the same seed
+yields the same key sequence and the same Poisson arrival times, so
+benchmark runs are replayable and regression-comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.result import KmerCounts
+
+__all__ = ["QueryWorkload", "zipf_workload", "arrival_groups"]
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """One generated query stream."""
+
+    keys: np.ndarray      # uint64 query keys, in arrival order
+    arrivals: np.ndarray  # float64 arrival times (seconds, non-decreasing)
+    zipf_s: float
+    seed: int
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def duration(self) -> float:
+        """Span of the open-loop arrival schedule."""
+        return float(self.arrivals[-1]) if self.arrivals.size else 0.0
+
+    def unique_fraction(self) -> float:
+        """Distinct keys / queries — low means a cache-friendly stream."""
+        if not self.keys.size:
+            return 0.0
+        return np.unique(self.keys).size / self.keys.size
+
+
+def zipf_workload(
+    counts: KmerCounts,
+    n_queries: int,
+    *,
+    s: float = 1.1,
+    seed: int = 0,
+    rate_qps: float = 100_000.0,
+    miss_fraction: float = 0.0,
+    max_support: int = 200_000,
+) -> QueryWorkload:
+    """Generate a Zipf(s) query stream over a counted database.
+
+    * Keys are ranked by database count (descending, ties broken by
+      key value) and sampled with ``P(rank r) ~ (r+1)^-s`` over the
+      top ``max_support`` ranks.
+    * *miss_fraction* of queries ask for keys absent from the
+      database (uniform over the k-mer space), exercising the
+      negative-lookup path.
+    * Arrivals are an open-loop Poisson process at *rate_qps*.
+    """
+    if n_queries < 0:
+        raise ValueError("n_queries must be >= 0")
+    if s <= 0:
+        raise ValueError("zipf exponent s must be > 0")
+    if not 0.0 <= miss_fraction <= 1.0:
+        raise ValueError("miss_fraction must be in [0, 1]")
+    if counts.n_distinct == 0 and miss_fraction < 1.0 and n_queries > 0:
+        raise ValueError("cannot draw hit queries from an empty database")
+    rng = np.random.default_rng(seed)
+
+    # Rank the spectrum: heaviest count first, key value as tiebreak.
+    order = np.lexsort((counts.kmers, -counts.counts))
+    support = order[: min(max_support, order.size)]
+    ranked_keys = counts.kmers[support]
+    weights = (np.arange(ranked_keys.size, dtype=np.float64) + 1.0) ** -s
+    weights /= weights.sum()
+
+    n_miss = int(round(n_queries * miss_fraction))
+    n_hit = n_queries - n_miss
+    hit_keys = (
+        ranked_keys[rng.choice(ranked_keys.size, size=n_hit, p=weights)]
+        if n_hit
+        else np.empty(0, dtype=np.uint64)
+    )
+    miss_keys = _absent_keys(counts, n_miss, rng)
+    keys = np.concatenate([hit_keys, miss_keys])
+    rng.shuffle(keys)
+
+    gaps = rng.exponential(1.0 / rate_qps, size=n_queries)
+    arrivals = np.cumsum(gaps)
+    return QueryWorkload(keys=keys, arrivals=arrivals, zipf_s=s, seed=seed)
+
+
+def _absent_keys(counts: KmerCounts, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw *n* keys uniformly from the k-mer space, none in the DB."""
+    if n == 0:
+        return np.empty(0, dtype=np.uint64)
+    space = 1 << (2 * counts.k)
+    out = rng.integers(0, space, size=n, dtype=np.uint64)
+    for _ in range(64):  # each round fixes all residual collisions
+        idx = np.searchsorted(counts.kmers, out)
+        idx_c = np.minimum(idx, max(counts.kmers.size - 1, 0))
+        present = counts.kmers.size > 0
+        colliding = (counts.kmers[idx_c] == out) if present else np.zeros(n, bool)
+        if not colliding.any():
+            return out
+        out[colliding] = rng.integers(0, space, size=int(colliding.sum()), dtype=np.uint64)
+    raise RuntimeError("could not draw absent keys (database saturates key space)")
+
+
+def arrival_groups(
+    workload: QueryWorkload, tick: float = 1e-3
+) -> list[np.ndarray]:
+    """Bucket the stream into arrival ticks of *tick* seconds.
+
+    Each group is the batch of keys whose Poisson arrivals fall in one
+    tick — the unit a load generator submits together, standing in for
+    that many concurrent single-key clients.
+    """
+    if tick <= 0:
+        raise ValueError("tick must be > 0")
+    if not workload.keys.size:
+        return []
+    slot = (workload.arrivals // tick).astype(np.int64)
+    bounds = np.flatnonzero(np.diff(slot)) + 1
+    return np.split(workload.keys, bounds)

@@ -132,8 +132,6 @@ class TestSetOps:
     @given(st.lists(st.tuples(st.integers(0, 30), st.integers(1, 9)), max_size=30),
            st.lists(st.tuples(st.integers(0, 30), st.integers(1, 9)), max_size=30))
     def test_counter_semantics(self, pa, pb):
-        from collections import Counter
-
         a, b = kc(pa), kc(pb)
         ca, cb = a.to_counter(), b.to_counter()
         assert union(a, b).to_counter() == ca + cb

@@ -65,7 +65,6 @@ class TestUnitigs:
         # The shared ACGT core forces splits at the branch points.
         assert len(unitigs) >= 3
         assert all(len(s) >= 4 for s in seqs)
-        joined = "".join(sorted(seqs))
         assert "ACGT" in " ".join(seqs)
 
     def test_cycle_handled(self):

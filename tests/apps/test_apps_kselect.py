@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.apps.kselect import KCandidate, choose_k, evaluate_k
+from repro.apps.kselect import choose_k, evaluate_k
 from repro.core.serial import serial_count
 from repro.seq.genomes import uniform_genome
 from repro.seq.readsim import ReadSimConfig, simulate_reads

@@ -1,0 +1,156 @@
+"""Round-trip and edge-case tests for the count-database store."""
+
+from __future__ import annotations
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.apps.store import dump_text, load_counts, load_text, save_counts
+from repro.core.result import KmerCounts
+from repro.core.serial import serial_count
+from repro.seq.kmers import kmer_to_str
+
+
+@pytest.fixture(scope="module")
+def db(small_reads):
+    return serial_count(small_reads, 15)
+
+
+class TestBinaryRoundTrip:
+    def test_bit_exact(self, db, tmp_path):
+        path = tmp_path / "db.npz"
+        save_counts(path, db, canonical=True)
+        loaded, canonical = load_counts(path)
+        assert canonical is True
+        assert loaded == db
+        assert loaded.kmers.dtype == np.uint64
+        assert loaded.counts.dtype == np.int64
+
+    def test_canonical_flag_default_false(self, db, tmp_path):
+        path = tmp_path / "db.npz"
+        save_counts(path, db)
+        _, canonical = load_counts(path)
+        assert canonical is False
+
+    def test_empty_database(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_counts(path, KmerCounts.empty(21))
+        loaded, _ = load_counts(path)
+        assert loaded.k == 21
+        assert loaded.n_distinct == 0
+
+    def test_version_mismatch_rejected(self, db, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(99),
+            k=np.int64(db.k),
+            canonical=np.bool_(False),
+            kmers=db.kmers,
+            counts=db.counts,
+        )
+        with pytest.raises(ValueError, match="version 99"):
+            load_counts(path)
+
+
+class TestTextRoundTrip:
+    def test_plain_tsv(self, db, tmp_path):
+        path = tmp_path / "db.tsv"
+        n = dump_text(path, db)
+        assert n == db.n_distinct
+        assert load_text(path) == db
+
+    def test_gzip_tsv(self, db, tmp_path):
+        path = tmp_path / "db.tsv.gz"
+        n = dump_text(path, db)
+        assert n == db.n_distinct
+        # Really gzip on disk, and much smaller than the plain dump.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert load_text(path) == db
+        plain = tmp_path / "db.tsv"
+        dump_text(plain, db)
+        assert path.stat().st_size < plain.stat().st_size
+
+    def test_gzip_matches_plain_content(self, db, tmp_path):
+        gz, plain = tmp_path / "a.tsv.gz", tmp_path / "b.tsv"
+        dump_text(gz, db)
+        dump_text(plain, db)
+        assert gzip.decompress(gz.read_bytes()).decode() == plain.read_text()
+
+    def test_rows_are_jellyfish_style(self, db, tmp_path):
+        path = tmp_path / "db.tsv"
+        dump_text(path, db)
+        first = path.read_text().splitlines()[0].split("\t")
+        assert first[0] == kmer_to_str(int(db.kmers[0]), db.k)
+        assert int(first[1]) == int(db.counts[0])
+
+    def test_vectorised_dump_matches_scalar_decode(self, tmp_path):
+        kc = KmerCounts.from_pairs(
+            7,
+            np.array([0, 1, 2**14 - 1, 12345], dtype=np.uint64),
+            np.array([1, 2, 3, 4], dtype=np.int64),
+        )
+        path = tmp_path / "d.tsv"
+        dump_text(path, kc)
+        rows = [line.split("\t")[0] for line in path.read_text().splitlines()]
+        assert rows == [kmer_to_str(int(km), 7) for km in kc.kmers]
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "d.tsv"
+        path.write_text("# header\n\nACGTA\t3\n")
+        kc = load_text(path)
+        assert kc.k == 5
+        assert kc.n_distinct == 1
+
+    def test_explicit_k_overrides_inference(self, tmp_path):
+        path = tmp_path / "d.tsv"
+        path.write_text("ACGTA\t3\n")
+        assert load_text(path, k=5).k == 5
+        with pytest.raises(ValueError, match="length"):
+            load_text(path, k=7)
+
+
+class TestTextErrors:
+    def test_malformed_row_no_tab(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("ACGTA 3\n")
+        with pytest.raises(ValueError, match="malformed row"):
+            load_text(path)
+
+    def test_malformed_row_bad_count(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("ACGTA\tlots\n")
+        with pytest.raises(ValueError, match="malformed row"):
+            load_text(path)
+
+    def test_malformed_row_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("ACGTA\t3\nACGTT\n")
+        with pytest.raises(ValueError, match=":2:"):
+            load_text(path)
+
+    def test_inconsistent_k(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("ACGTA\t3\nACGTAA\t2\n")
+        with pytest.raises(ValueError, match="6 != 5"):
+            load_text(path)
+
+    def test_empty_dump_without_k(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty dump"):
+            load_text(path)
+
+    def test_empty_dump_with_k(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("# nothing\n")
+        kc = load_text(path, k=9)
+        assert kc.k == 9
+        assert kc.n_distinct == 0
+
+    def test_empty_gzip_dump_with_k(self, tmp_path):
+        path = tmp_path / "empty.tsv.gz"
+        assert dump_text(path, KmerCounts.empty(9)) == 0
+        assert load_text(path, k=9).n_distinct == 0

@@ -4,10 +4,7 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-import pytest
-
-from repro.bench.harness import RunPoint, best_time, run_point, sweep_nodes
+from repro.bench.harness import best_time, run_point, sweep_nodes
 from repro.bench.tables import (
     format_bytes,
     format_speedup,

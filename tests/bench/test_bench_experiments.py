@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.experiments import EXPERIMENTS, list_experiments, run_experiment
+from repro.bench.experiments import list_experiments, run_experiment
 
 
 class TestRegistry:

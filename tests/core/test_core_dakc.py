@@ -11,7 +11,7 @@ from repro.core.dakc import DakcConfig, dakc_count
 from repro.core.l2l3 import AggregationConfig
 from repro.core.serial import serial_count
 from repro.runtime.cost import CostModel
-from repro.runtime.machine import laptop, phoenix_intel
+from repro.runtime.machine import laptop
 
 
 def cost_model(p=8, nodes=2):
@@ -152,7 +152,6 @@ class TestStatistics:
 
     def test_heavy_reduces_receive_imbalance(self, heavy_reads):
         """L3 must cut the hot owner's received volume."""
-        p = 16
         cm = lambda: CostModel(laptop(nodes=4, cores=4))
         _, with_l3 = dakc_count(heavy_reads, 15, cm(),
                                 DakcConfig(agg=AggregationConfig(enable_l3=True)))

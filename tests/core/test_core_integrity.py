@@ -3,7 +3,6 @@ loss and duplication anywhere in the aggregation/conveyor stack."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.dakc import DakcConfig, DeliveryIntegrityError, dakc_count

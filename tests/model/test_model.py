@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
-from repro.model.analytical import ModelPrediction, cache_miss_model, predict
+from repro.model.analytical import cache_miss_model, predict
 from repro.model.footprints import (
     HYSORTK_MAX_KMERS,
     check_fits,

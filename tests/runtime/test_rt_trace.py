@@ -8,7 +8,7 @@ from repro.core.bsp import BspConfig, bsp_count
 from repro.core.dakc import dakc_count
 from repro.runtime.cost import CostModel
 from repro.runtime.machine import laptop
-from repro.runtime.trace import Span, Tracer, render_gantt
+from repro.runtime.trace import Span, Tracer, render_gantt, to_chrome_trace
 
 
 class TestTracer:
@@ -61,6 +61,55 @@ class TestGantt:
         tr.record(0, 9.0, 10.0, "barrier")
         out = render_gantt(tr, width=20)
         assert out.splitlines()[1].rstrip().endswith("|")
+
+
+class TestChromeTrace:
+    def _trace(self) -> Tracer:
+        tr = Tracer()
+        tr.record(0, 0.0, 1.5, "compute")
+        tr.record(1, 0.5, 2.0, "send")
+        tr.record(0, 1.5, 2.0, "barrier")
+        return tr
+
+    def test_document_shape(self):
+        import json
+
+        doc = json.loads(to_chrome_trace(self._trace()))
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert all({"name", "ph", "pid", "tid"} <= set(e) for e in events)
+
+    def test_duration_events_map_spans(self):
+        import json
+
+        doc = json.loads(to_chrome_trace(self._trace()))
+        durs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(durs) == 3
+        compute = next(e for e in durs if e["name"] == "compute")
+        assert compute["tid"] == 0
+        assert compute["ts"] == pytest.approx(0.0)
+        assert compute["dur"] == pytest.approx(1.5e6)  # seconds -> us
+        send = next(e for e in durs if e["name"] == "send")
+        assert send["tid"] == 1
+        assert send["ts"] == pytest.approx(0.5e6)
+        # Events arrive sorted by start time (viewer-friendly).
+        assert [e["ts"] for e in durs] == sorted(e["ts"] for e in durs)
+
+    def test_metadata_names_process_and_threads(self):
+        import json
+
+        doc = json.loads(to_chrome_trace(self._trace(), process_name="dakc sim"))
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "dakc sim" in names
+        assert {"PE 0", "PE 1"} <= names
+
+    def test_empty_trace_is_valid_json(self):
+        import json
+
+        doc = json.loads(to_chrome_trace(Tracer()))
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M"]  # process name only
 
 
 class TestIntegration:

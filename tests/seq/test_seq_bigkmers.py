@@ -22,7 +22,7 @@ from repro.seq.bigkmers import (
     str_to_big_kmer,
 )
 from repro.seq.encoding import encode_seq
-from repro.seq.kmers import extract_kmers, iter_kmers
+from repro.seq.kmers import extract_kmers
 
 dna = st.text(alphabet="ACGT", min_size=0, max_size=160)
 big_ks = st.integers(min_value=1, max_value=MAX_BIG_K)

@@ -1,0 +1,232 @@
+"""Tests for the asyncio query engine: batching, backpressure, caching."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.serial import serial_count
+from repro.serve.cache import HotKeyCache
+from repro.serve.engine import EngineConfig, Overloaded, QueryEngine, naive_serve, replay
+from repro.serve.shards import ShardedStore
+
+
+@pytest.fixture(scope="module")
+def db(small_reads):
+    return serial_count(small_reads, 15)
+
+
+@pytest.fixture(scope="module")
+def store(db):
+    return ShardedStore.from_counts(db, 4)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("batch_size,window", [(1, 0.0), (16, 0.0), (64, 1e-3)])
+    def test_matches_oracle(self, db, store, rng, batch_size, window):
+        keys = rng.choice(db.kmers, size=400)
+        expect = np.array([db.get(int(k)) for k in keys])
+
+        async def go():
+            cfg = EngineConfig(batch_size=batch_size, batch_window=window)
+            async with QueryEngine(store, cfg) as engine:
+                return await engine.query_many(keys)
+
+        assert np.array_equal(run(go()), expect)
+
+    def test_scalar_query_and_absent_key(self, db, store):
+        key = int(db.kmers[0])
+
+        async def go():
+            cfg = EngineConfig(batch_window=0.0)
+            async with QueryEngine(store, cfg) as engine:
+                hit = await engine.query(key)
+                miss = await engine.query((1 << 30) + 12345)
+                return hit, miss
+
+        hit, miss = run(go())
+        assert hit == db.get(key)
+        assert miss == 0
+
+    def test_empty_batch(self, store):
+        async def go():
+            async with QueryEngine(store) as engine:
+                return await engine.query_many(np.empty(0, dtype=np.uint64))
+
+        assert run(go()).size == 0
+
+    def test_concurrent_clients_agree_with_naive(self, db, store, rng):
+        keys = rng.choice(db.kmers, size=2000)
+        naive_out, _ = naive_serve(store, keys)
+
+        async def go():
+            cfg = EngineConfig(batch_size=128, batch_window=2e-4)
+            cache = HotKeyCache(512, admit_threshold=2)
+            async with QueryEngine(store, cfg, cache=cache) as engine:
+                return await replay(engine, keys, group_size=100, concurrency=4)
+
+        assert np.array_equal(run(go()), naive_out)
+
+    def test_query_without_start_raises(self, store):
+        engine = QueryEngine(store)
+        with pytest.raises(RuntimeError, match="not started"):
+            run(engine.query_many(np.array([1], dtype=np.uint64)))
+
+
+class TestBatching:
+    def test_requests_are_coalesced(self, db, store):
+        keys = db.kmers[:300]
+
+        async def go():
+            cfg = EngineConfig(batch_size=1000, batch_window=5e-3)
+            async with QueryEngine(store, cfg) as engine:
+                groups = [keys[i : i + 10] for i in range(0, 300, 10)]
+                await asyncio.gather(*(engine.query_many(g) for g in groups))
+                return engine.metrics
+
+        metrics = run(go())
+        assert metrics.n_queries == 300
+        # 30 requests x 4 shards would be <= 120 naive flushes; the
+        # window must coalesce them well below that.
+        assert metrics.n_batches < 60
+        assert metrics.mean_batch_size > 2.0
+        assert metrics.batched_keys == 300
+
+    def test_no_window_still_answers(self, db, store):
+        async def go():
+            cfg = EngineConfig(batch_size=8, batch_window=0.0)
+            async with QueryEngine(store, cfg) as engine:
+                return await engine.query_many(db.kmers[:64])
+
+        assert (run(go()) > 0).all()
+
+    def test_workers_per_shard(self, db, store):
+        async def go():
+            cfg = EngineConfig(batch_size=16, batch_window=1e-4, workers_per_shard=3)
+            async with QueryEngine(store, cfg) as engine:
+                out = await replay(engine, db.kmers[:500], group_size=50)
+                return out, engine.metrics
+
+        out, metrics = run(go())
+        assert (out > 0).all()
+        assert metrics.n_queries == 500
+
+
+class TestBackpressure:
+    def test_overloaded_raised_and_counted(self, db, store):
+        async def go():
+            # Bound so small that the second in-flight batch must bounce;
+            # the large batch_size keeps workers in their coalescing
+            # window so the first batch stays in flight while we probe.
+            cfg = EngineConfig(batch_size=64, batch_window=5e-2, max_inflight=4)
+            async with QueryEngine(store, cfg) as engine:
+                first = asyncio.create_task(engine.query_many(db.kmers[:4]))
+                await asyncio.sleep(0)  # let it enter the queues
+                with pytest.raises(Overloaded) as exc:
+                    await engine.query_many(db.kmers[4:8])
+                await first
+                return engine.metrics, exc.value
+
+        metrics, err = run(go())
+        assert metrics.rejected == 4
+        assert err.limit == 4 and err.inflight == 4
+
+    def test_rejection_does_not_leak_inflight(self, db, store):
+        async def go():
+            cfg = EngineConfig(batch_size=64, batch_window=5e-2, max_inflight=4)
+            async with QueryEngine(store, cfg) as engine:
+                first = asyncio.create_task(engine.query_many(db.kmers[:4]))
+                await asyncio.sleep(0)
+                for _ in range(3):
+                    with pytest.raises(Overloaded):
+                        await engine.query_many(db.kmers[4:8])
+                await first
+                # Once drained, admission opens again.
+                out = await engine.query_many(db.kmers[4:8])
+                assert engine.inflight == 0
+                return out
+
+        assert (run(go()) > 0).all()
+
+    def test_replay_counts_rejections_instead_of_raising(self, db, store):
+        async def go():
+            cfg = EngineConfig(batch_size=8, batch_window=2e-2, max_inflight=8)
+            async with QueryEngine(store, cfg) as engine:
+                await replay(engine, db.kmers[:256], group_size=8, concurrency=16)
+                return engine.metrics
+
+        metrics = run(go())
+        assert metrics.rejected > 0
+        assert metrics.n_queries + metrics.rejected == 256
+
+
+class TestCacheIntegration:
+    def test_hot_keys_served_from_cache(self, db, store):
+        hot = np.repeat(db.kmers[:2], 200)
+
+        async def go():
+            cfg = EngineConfig(batch_size=64, batch_window=1e-4)
+            cache = HotKeyCache(64, admit_threshold=2)
+            async with QueryEngine(store, cfg, cache=cache) as engine:
+                # Sequential groups: the cache warms on the first group
+                # and every later group must hit it.
+                await replay(engine, hot, group_size=40, concurrency=1)
+                return engine.metrics
+
+        metrics = run(go())
+        assert metrics.cache_hits > 0.5 * metrics.n_queries
+        assert metrics.cache_hit_rate == pytest.approx(
+            metrics.cache_hits / (metrics.cache_hits + metrics.cache_misses)
+        )
+
+    def test_cached_answers_stay_correct(self, db, store, rng):
+        keys = rng.choice(db.kmers[:32], size=1500)  # heavy repetition
+        expect = np.array([db.get(int(k)) for k in keys])
+
+        async def go():
+            cache = HotKeyCache(128, admit_threshold=1)
+            cfg = EngineConfig(batch_size=64, batch_window=1e-4)
+            async with QueryEngine(store, cfg, cache=cache) as engine:
+                return await replay(engine, keys, group_size=64)
+
+        assert np.array_equal(run(go()), expect)
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent(self, store):
+        async def go():
+            engine = QueryEngine(store)
+            await engine.start()
+            await engine.start()  # no-op
+            await engine.stop()
+            await engine.stop()   # no-op
+
+        run(go())
+
+    def test_metrics_elapsed_set_by_replay(self, db, store):
+        async def go():
+            async with QueryEngine(store, EngineConfig(batch_window=0.0)) as engine:
+                await replay(engine, db.kmers[:100], group_size=25)
+                return engine.metrics
+
+        metrics = run(go())
+        assert metrics.elapsed > 0
+        assert metrics.throughput_qps > 0
+
+
+class TestNaive:
+    def test_naive_matches_database(self, db, store, rng):
+        keys = rng.choice(db.kmers, size=300)
+        out, metrics = naive_serve(store, keys)
+        expect = np.array([db.get(int(k)) for k in keys])
+        assert np.array_equal(out, expect)
+        assert metrics.n_queries == 300
+        assert metrics.n_found == 300
+        assert metrics.elapsed > 0
+        assert metrics.latency.n == 300

@@ -1,0 +1,120 @@
+"""Tests for latency histograms and serving-metric snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.metrics import LatencyHistogram, ServeMetrics
+
+
+class TestHistogram:
+    def test_quantiles_track_known_distribution(self, rng):
+        h = LatencyHistogram()
+        samples = rng.uniform(1e-4, 1e-2, size=20_000)
+        for s in samples:
+            h.record(float(s))
+        for q in (0.5, 0.95, 0.99):
+            exact = float(np.quantile(samples, q))
+            # Geometric buckets: accurate within one growth factor.
+            assert exact / h.growth <= h.quantile(q) <= exact * h.growth**2
+
+    def test_counts_mean_max(self):
+        h = LatencyHistogram()
+        for value in (1e-3, 2e-3, 3e-3):
+            h.record(value)
+        assert h.n == 3
+        assert h.mean == pytest.approx(2e-3)
+        assert h.max_seen == pytest.approx(3e-3)
+
+    def test_weighted_record(self):
+        h = LatencyHistogram()
+        h.record(1e-3, weight=100)
+        assert h.n == 100
+        assert h.quantile(0.5) == pytest.approx(1e-3, rel=0.15)
+
+    def test_underflow_and_overflow(self):
+        h = LatencyHistogram(lo=1e-6, hi=1.0)
+        h.record(1e-9)   # below lo -> underflow bucket
+        h.record(50.0)   # above hi -> overflow bucket
+        assert h.n == 2
+        assert h.quantile(0.0) == h.lo
+        assert h.quantile(1.0) == pytest.approx(50.0)
+
+    def test_empty_quantile(self):
+        assert LatencyHistogram().quantile(0.99) == 0.0
+
+    def test_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(1e-3)
+        b.record(1e-2, weight=9)
+        a.merge(b)
+        assert a.n == 10
+        assert a.quantile(0.99) == pytest.approx(1e-2, rel=0.2)
+
+    def test_merge_geometry_mismatch(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().merge(LatencyHistogram(lo=1e-5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(lo=1.0, hi=0.5)
+        with pytest.raises(ValueError):
+            LatencyHistogram(growth=1.0)
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.record(-1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestServeMetrics:
+    def _loaded(self) -> ServeMetrics:
+        m = ServeMetrics()
+        m.latency.record(1e-3, weight=90)
+        m.latency.record(1e-2, weight=10)
+        m.n_queries = 100
+        m.n_found = 80
+        m.cache_hits = 60
+        m.cache_misses = 40
+        m.n_batches = 5
+        m.batched_keys = 40
+        m.rejected = 7
+        m.elapsed = 2.0
+        m.observe_queue_depth(3)
+        m.observe_queue_depth(9)
+        return m
+
+    def test_derived_rates(self):
+        m = self._loaded()
+        assert m.throughput_qps == pytest.approx(50.0)
+        assert m.cache_hit_rate == pytest.approx(0.6)
+        assert m.mean_batch_size == pytest.approx(8.0)
+        assert m.queue_depth_max == 9
+        assert m.queue_depth_mean == pytest.approx(6.0)
+
+    def test_snapshot_shape(self):
+        snap = self._loaded().snapshot()
+        assert snap["n_queries"] == 100
+        assert snap["latency_ms"]["p50"] < snap["latency_ms"]["p99"]
+        assert snap["cache"]["hit_rate"] == pytest.approx(0.6)
+        assert snap["queue"]["rejected"] == 7
+        json.dumps(snap)  # must be JSON-serialisable as-is
+
+    def test_to_json_roundtrip(self, tmp_path):
+        path = tmp_path / "snap.json"
+        text = self._loaded().to_json(path, label="unit", seed=0)
+        doc = json.loads(path.read_text())
+        assert doc == json.loads(text)
+        assert doc["label"] == "unit"
+        assert doc["seed"] == 0
+        assert doc["batching"]["mean_batch_size"] == pytest.approx(8.0)
+
+    def test_zero_division_guards(self):
+        m = ServeMetrics()
+        assert m.throughput_qps == 0.0
+        assert m.cache_hit_rate == 0.0
+        assert m.mean_batch_size == 0.0
+        assert m.queue_depth_mean == 0.0

@@ -1,0 +1,109 @@
+"""Tests for the sharded sorted-array store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.owner import owner_pe
+from repro.core.result import KmerCounts
+from repro.core.serial import serial_count
+from repro.serve.shards import Shard, ShardedStore
+
+
+@pytest.fixture(scope="module")
+def db(small_reads):
+    return serial_count(small_reads, 15)
+
+
+class TestPartition:
+    def test_shards_cover_database(self, db):
+        store = ShardedStore.from_counts(db, 8)
+        assert store.n_shards == 8
+        assert store.n_distinct == db.n_distinct
+        assert int(store.shard_sizes().sum()) == db.n_distinct
+
+    def test_partition_follows_owner_pe(self, db):
+        store = ShardedStore.from_counts(db, 4)
+        owners = owner_pe(db.kmers, 4)
+        for s, shard in enumerate(store.shards):
+            assert np.array_equal(shard.kmers, db.kmers[owners == s])
+            assert np.array_equal(shard.counts, db.counts[owners == s])
+
+    def test_shards_stay_sorted(self, db):
+        store = ShardedStore.from_counts(db, 8)
+        for shard in store.shards:
+            if shard.n_keys > 1:
+                assert (shard.kmers[:-1] < shard.kmers[1:]).all()
+
+    def test_single_shard(self, db):
+        store = ShardedStore.from_counts(db, 1)
+        assert np.array_equal(store.shards[0].kmers, db.kmers)
+
+    def test_balance(self, db):
+        # splitmix64 should spread distinct keys roughly evenly.
+        store = ShardedStore.from_counts(db, 8)
+        sizes = store.shard_sizes()
+        assert sizes.min() > 0.5 * sizes.mean()
+        assert sizes.max() < 1.5 * sizes.mean()
+
+    def test_invalid_n_shards(self, db):
+        with pytest.raises(ValueError):
+            ShardedStore.from_counts(db, 0)
+
+
+class TestLookup:
+    def test_lookup_matches_scalar_get(self, db, rng):
+        store = ShardedStore.from_counts(db, 8)
+        keys = rng.choice(db.kmers, size=500)
+        expect = np.array([db.get(int(k)) for k in keys])
+        assert np.array_equal(store.lookup(keys), expect)
+        assert all(store.get(int(k)) == db.get(int(k)) for k in keys[:50])
+
+    def test_absent_keys_answer_zero(self, db):
+        absent = np.setdiff1d(
+            np.arange(1000, dtype=np.uint64), db.kmers.astype(np.uint64)
+        )[:100]
+        looked = ShardedStore.from_counts(db, 4).lookup(absent)
+        assert looked.shape == absent.shape
+        assert (looked == 0).all()
+
+    def test_lookup_batch_single_shard(self, db):
+        store = ShardedStore.from_counts(db, 4)
+        keys = store.shards[2].kmers[:50]
+        vals = store.lookup_batch(2, keys)
+        assert np.array_equal(vals, store.shards[2].counts[:50])
+
+    def test_misrouted_keys_answer_zero(self, db):
+        store = ShardedStore.from_counts(db, 4)
+        foreign = store.shards[0].kmers[:10]
+        sid = 1 if store.shard_of(int(foreign[0])) != 1 else 2
+        assert (store.lookup_batch(sid, foreign) == 0).all()
+
+    def test_empty_shard_and_empty_batch(self):
+        empty = Shard(np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64))
+        assert empty.lookup(np.array([1, 2], dtype=np.uint64)).tolist() == [0, 0]
+        store = ShardedStore(5, [empty])
+        assert store.lookup(np.empty(0, dtype=np.uint64)).size == 0
+        assert store.get(7) == 0
+
+    def test_shard_of_scalar_and_vector_agree(self, db):
+        store = ShardedStore.from_counts(db, 8)
+        keys = db.kmers[:64]
+        vec = store.shard_of(keys)
+        assert [store.shard_of(int(k)) for k in keys] == list(vec)
+
+
+class TestMisc:
+    def test_nbytes(self, db):
+        store = ShardedStore.from_counts(db, 4)
+        assert store.nbytes == db.kmers.nbytes + db.counts.nbytes
+
+    def test_misaligned_shard_rejected(self):
+        with pytest.raises(ValueError):
+            Shard(np.zeros(3, dtype=np.uint64), np.zeros(2, dtype=np.int64))
+
+    def test_from_empty_counts(self):
+        store = ShardedStore.from_counts(KmerCounts.empty(15), 4)
+        assert store.n_distinct == 0
+        assert (store.lookup(np.array([5], dtype=np.uint64)) == 0).all()

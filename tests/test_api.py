@@ -8,10 +8,8 @@ import pytest
 from repro import count_kmers
 from repro.api import ALGORITHMS, load_reads, resolve_machine
 from repro.core.serial import serial_count
-from repro.runtime.machine import phoenix_amd, phoenix_intel
-from repro.seq.datasets import materialize
-from repro.seq.encoding import encode_seq
-from repro.seq.fastx import SeqRecord, write_fastq
+from repro.runtime.machine import phoenix_intel
+from repro.seq.fastx import write_fastq
 from repro.seq.readsim import reads_to_records
 
 

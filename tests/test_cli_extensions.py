@@ -32,6 +32,19 @@ class TestSave:
         assert db.exists()
         assert "saved binary database" in capsys.readouterr().out
 
+    def test_count_output_gzip_tsv(self, tmp_path, capsys):
+        """--output with a .gz path must write real gzip (via dump_text)."""
+        from repro.apps.store import load_counts, load_text
+
+        db = tmp_path / "out.npz"
+        tsv = tmp_path / "out.tsv.gz"
+        rc = main(["count", "--dataset", "synthetic-20", "-k", "15",
+                   "--budget", "30000", "--algorithm", "serial",
+                   "--output", str(tsv), "--save", str(db)])
+        assert rc == 0
+        assert tsv.read_bytes()[:2] == b"\x1f\x8b"
+        assert load_text(tsv) == load_counts(db)[0]
+
 
 class TestAnalyze:
     def test_analyze_npz(self, db_paths, capsys):
@@ -86,6 +99,44 @@ class TestTimeline:
 
     def test_timeline_unknown_algorithm(self, capsys):
         rc = main(["timeline", "--algorithm", "kmc3", "--budget", "30000"])
+        assert rc == 2
+
+
+class TestServeBench:
+    ARGS = ["serve-bench", "--dataset", "synthetic-20", "-k", "15",
+            "--budget", "30000", "--queries", "4000"]
+
+    def test_serve_bench_reports_and_matches(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "answers match: True" in out
+        assert "speedup (served/naive):" in out
+        assert "cache hit rate:" in out
+
+    def test_serve_bench_json_snapshot(self, tmp_path, capsys):
+        import json
+
+        snap = tmp_path / "serve.json"
+        assert main(self.ARGS + ["--json", str(snap), "--seed", "7"]) == 0
+        doc = json.loads(snap.read_text())
+        assert doc["experiment"] == "serve-bench"
+        assert doc["seed"] == 7
+        assert doc["answers_match"] is True
+        assert doc["served"]["latency_ms"]["p99"] > 0
+        assert doc["served"]["throughput_qps"] > 0
+
+    def test_serve_bench_from_database(self, db_paths, capsys):
+        a, _ = db_paths
+        rc = main(["serve-bench", "--database", a, "--queries", "2000",
+                   "--shards", "4", "--cache-capacity", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "answers match: True" in out
+        assert "cache hit rate: 0.0%" in out
+
+    def test_serve_bench_missing_database(self, capsys):
+        rc = main(["serve-bench", "--database", "/no/such.npz",
+                   "--queries", "100"])
         assert rc == 2
 
 

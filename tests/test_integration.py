@@ -8,7 +8,6 @@ master correctness gate.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import count_kmers

@@ -9,7 +9,6 @@ from __future__ import annotations
 from collections import Counter
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
