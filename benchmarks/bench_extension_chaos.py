@@ -18,8 +18,9 @@ from repro.runtime.cost import CostModel
 from repro.runtime.machine import phoenix_intel
 
 
-def test_extension_chaos_overhead_and_recovery(benchmark):
-    w = build_workload("synthetic-24", 31, budget_kmers=200_000)
+def test_extension_chaos_overhead_and_recovery(benchmark, quick):
+    w = build_workload("synthetic-24", 31,
+                       budget_kmers=60_000 if quick else 200_000)
     ref = serial_count(w.reads, 31)
 
     def run():

@@ -1,0 +1,152 @@
+"""Extension bench: the updatable LSM k-mer store (repro.lsm).
+
+Three claims are on the line:
+
+* **ingest throughput** — durably appending reads (WAL + count +
+  memtable merge + periodic flush) sustains a real records/s rate,
+  recorded for future PRs to compare against;
+* **read amplification is bounded** — a point read probes one run per
+  resident run, so before compaction amplification equals the run
+  count, and after compaction it is <= the configured fan-in;
+* **incremental beats rebuild** — ingesting a 10% delta into a
+  compacted store (WAL + count the delta + merge) is >= 3x faster
+  than the naive alternative of recounting the full dataset from
+  scratch (the only option a frozen ``KmerCounts`` database offers).
+
+The run emits ``benchmarks/results/BENCH_lsm.json``.  Under
+``--quick`` the workload shrinks and the incremental-speedup floor is
+relaxed (tiny workloads put fixed per-call overhead in the numerator).
+"""
+
+import json
+import time
+
+from repro.bench.workloads import build_workload
+from repro.core.serial import serial_count
+from repro.lsm import LsmConfig, LsmStore
+
+from _common import RESULTS_DIR
+
+K = 21
+
+
+def test_extension_lsm_ingest_read_amp_incremental(benchmark, quick, tmp_path):
+    budget = 40_000 if quick else 150_000
+    batch_records = 50 if quick else 100
+    min_speedup = 1.5 if quick else 3.0
+    w = build_workload("synthetic-24", K, budget_kmers=budget)
+    reads = w.reads
+    batches = [reads[i:i + batch_records]
+               for i in range(0, reads.shape[0], batch_records)]
+    # 90/10 record split for the incremental-vs-rebuild claim.
+    cut = (reads.shape[0] * 9 + 9) // 10
+    base = [reads[i:min(i + batch_records, cut)]
+            for i in range(0, cut, batch_records)]
+    delta = [reads[cut:]]  # the 10% tail, shipped as one WAL batch
+
+    # Small memtable so flushes happen; no auto-compaction so the
+    # before/after read-amplification contrast is observable.
+    config = LsmConfig(memtable_bytes=(4 if quick else 8) << 10,
+                       max_runs=4, fan_in=4, auto_compact=False)
+
+    def run():
+        doc = {}
+
+        # -- ingest throughput ----------------------------------------
+        store = LsmStore(tmp_path / "db", K, config=config)
+        t0 = time.perf_counter()
+        n = 0
+        for batch in batches:
+            n += store.ingest(batch)
+        store.flush()
+        t_ingest = time.perf_counter() - t0
+        doc["ingest"] = {
+            "records": n,
+            "seconds": t_ingest,
+            "records_per_s": n / t_ingest,
+            "flushes": store.stats.flushes,
+            "wal_batches": store.stats.batches_ingested,
+        }
+
+        # -- read amplification: run count before, fan-in after -------
+        sample = store.snapshot().kmers[:2048]
+        runs_before = store.n_runs
+        store.stats.point_reads = store.stats.run_probes = 0
+        store.get(sample)
+        amp_before = store.stats.read_amplification
+        t0 = time.perf_counter()
+        store.compact()
+        t_compact = time.perf_counter() - t0
+        runs_after = store.n_runs
+        store.stats.point_reads = store.stats.run_probes = 0
+        store.get(sample)
+        amp_after = store.stats.read_amplification
+        doc["read_amplification"] = {
+            "runs_before_compaction": runs_before,
+            "amp_before_compaction": amp_before,
+            "runs_after_compaction": runs_after,
+            "amp_after_compaction": amp_after,
+            "fan_in": config.fan_in,
+            "compaction_seconds": t_compact,
+        }
+        store.close()
+
+        # -- incremental 10% delta vs naive full recount --------------
+        # Realistic memtable budget here: the tiny one above exists
+        # only to provoke flushes for the read-amplification contrast.
+        inc = LsmStore(tmp_path / "inc", K,
+                       config=LsmConfig(memtable_bytes=8 << 20, max_runs=4,
+                                        fan_in=4, auto_compact=False))
+        for batch in base:
+            inc.ingest(batch)
+        inc.flush()
+        inc.compact()
+        for batch in delta:
+            inc.ingest(batch)
+        assert inc.snapshot() == serial_count(reads, K)  # still exact
+        # Best-of-3 on both sides: a single ~5 ms ingest is at the mercy
+        # of scheduler noise.  Re-ingesting the same delta re-pays the
+        # identical WAL + count + merge cost (counts just accumulate).
+        t_incremental = t_rebuild = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            for batch in delta:
+                inc.ingest(batch)
+            t_incremental = min(t_incremental, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            serial_count(reads, K)
+            t_rebuild = min(t_rebuild, time.perf_counter() - t0)
+        inc.close()
+        doc["incremental"] = {
+            "delta_records": sum(b.shape[0] for b in delta),
+            "total_records": reads.shape[0],
+            "incremental_seconds": t_incremental,
+            "rebuild_seconds": t_rebuild,
+            "speedup": t_rebuild / t_incremental,
+        }
+        return doc
+
+    doc = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    ra = doc["read_amplification"]
+    # A point read probes every resident run: amplification equals the
+    # run count before compaction...
+    assert ra["amp_before_compaction"] == ra["runs_before_compaction"]
+    assert ra["runs_before_compaction"] > ra["fan_in"]
+    # ...and is bounded by the configured fan-in after.
+    assert ra["amp_after_compaction"] <= ra["fan_in"]
+
+    speedup = doc["incremental"]["speedup"]
+    assert speedup >= min_speedup, (
+        f"10% delta ingest {doc['incremental']['incremental_seconds']:.3f}s vs "
+        f"full recount {doc['incremental']['rebuild_seconds']:.3f}s = "
+        f"{speedup:.2f}x (floor {min_speedup}x)"
+    )
+
+    if quick:
+        return  # smoke mode: don't overwrite the recorded numbers
+    doc["experiment"] = "lsm-store"
+    doc["dataset"] = f"synthetic-24 replica (k={K}, {budget // 1000}k k-mer budget)"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_lsm.json"
+    out.write_text(json.dumps(doc, indent=2) + "\n")

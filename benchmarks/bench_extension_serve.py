@@ -32,14 +32,17 @@ N_QUERIES = 40_000
 ZIPF_S = 1.1
 
 
-def test_extension_serve_batched_cached_vs_naive(benchmark):
-    w = build_workload("synthetic-24", 21, budget_kmers=150_000)
+def test_extension_serve_batched_cached_vs_naive(benchmark, quick):
+    budget = 40_000 if quick else 150_000
+    n_queries = 8_000 if quick else N_QUERIES
+    min_speedup = 2.0 if quick else 5.0
+    w = build_workload("synthetic-24", 21, budget_kmers=budget)
     counts = serial_count(w.reads, 21)
 
     def run():
         return run_serve_bench(
             counts,
-            n_queries=N_QUERIES,
+            n_queries=n_queries,
             n_shards=8,
             zipf_s=ZIPF_S,
             seed=SEED,
@@ -65,12 +68,15 @@ def test_extension_serve_batched_cached_vs_naive(benchmark):
     # Nothing was shed at this offered load.
     assert result.served.rejected == 0
 
-    # The headline claim: >= 5x throughput over one-at-a-time serving.
-    assert result.speedup >= 5.0, (
+    # The headline claim: >= 5x throughput over one-at-a-time serving
+    # (relaxed under --quick, where fixed overhead dominates).
+    assert result.speedup >= min_speedup, (
         f"served {result.served.throughput_qps:,.0f} qps vs naive "
         f"{result.naive.throughput_qps:,.0f} qps = {result.speedup:.2f}x"
     )
 
+    if quick:
+        return  # smoke mode: don't overwrite the recorded numbers
     RESULTS_DIR.mkdir(exist_ok=True)
     doc = result.to_doc()
     doc["dataset"] = "synthetic-24 replica (k=21, 150k k-mer budget)"

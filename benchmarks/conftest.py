@@ -1,6 +1,20 @@
-"""Benchmark-tree configuration: make ``_common`` importable."""
+"""Benchmark-tree configuration: make ``_common`` importable, add --quick."""
 
 import sys
 from pathlib import Path
 
+import pytest
+
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="benchmark smoke mode: smaller workloads, relaxed thresholds",
+    )
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    return request.config.getoption("--quick")

@@ -23,9 +23,16 @@ import numpy as np
 from ..core.result import KmerCounts
 from ..seq.kmers import str_to_kmer
 
-__all__ = ["save_counts", "load_counts", "dump_text", "load_text"]
+__all__ = [
+    "save_counts",
+    "load_counts",
+    "dump_text",
+    "load_text",
+    "merge_sorted_counts",
+]
 
 _FORMAT_VERSION = 1
+_REQUIRED_FIELDS = ("version", "k", "canonical", "kmers", "counts")
 
 
 def _open_text(path: Path, mode: str):
@@ -48,17 +55,81 @@ def save_counts(path: str | os.PathLike, counts: KmerCounts,
     )
 
 
-def load_counts(path: str | os.PathLike) -> tuple[KmerCounts, bool]:
+def load_counts(
+    path: str | os.PathLike, *, expect_k: int | None = None
+) -> tuple[KmerCounts, bool]:
     """Load a database written by :func:`save_counts`.
 
-    Returns ``(counts, canonical_flag)``.
+    Returns ``(counts, canonical_flag)``.  Raises :class:`ValueError`
+    if the file is not a count database (missing fields), was written
+    by an unknown format version, or — when *expect_k* is given — was
+    counted at a different k than the caller expects (mixing k's
+    silently corrupts any downstream merge).
     """
     with np.load(Path(path)) as data:
+        missing = [f for f in _REQUIRED_FIELDS if f not in data.files]
+        if missing:
+            raise ValueError(
+                f"{path}: not a k-mer count database (missing {', '.join(missing)})"
+            )
         version = int(data["version"])
         if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported database version {version}")
-        kc = KmerCounts(int(data["k"]), data["kmers"], data["counts"])
+            raise ValueError(
+                f"{path}: unsupported database version {version} "
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
+        k = int(data["k"])
+        if expect_k is not None and k != expect_k:
+            raise ValueError(f"{path}: database has k={k}, expected k={expect_k}")
+        kc = KmerCounts(k, data["kmers"], data["counts"])
         return kc, bool(data["canonical"])
+
+
+def merge_sorted_counts(
+    keys_a: np.ndarray,
+    vals_a: np.ndarray,
+    keys_b: np.ndarray,
+    vals_b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two *sorted* ``(keys, counts)`` arrays, summing duplicates.
+
+    Both key arrays must be strictly increasing (the invariant of
+    :class:`~repro.core.result.KmerCounts` and of every on-disk run).
+    Unlike :func:`repro.sort.accumulate.accumulate_weighted` this does
+    not re-sort from scratch: the interleaving positions come from two
+    ``np.searchsorted`` passes (O((m+n)·log) with tiny constants), so
+    repeated merging — streaming counting, memtable updates, LSM
+    compaction — stays cheap as the accumulated side grows.
+    """
+    a = np.ascontiguousarray(keys_a, dtype=np.uint64)
+    va = np.ascontiguousarray(vals_a, dtype=np.int64)
+    b = np.ascontiguousarray(keys_b, dtype=np.uint64)
+    vb = np.ascontiguousarray(vals_b, dtype=np.int64)
+    if a.shape != va.shape or b.shape != vb.shape or a.ndim != 1 or b.ndim != 1:
+        raise ValueError("keys and counts must be aligned 1-D arrays")
+    if a.size == 0:
+        return b.copy(), vb.copy()
+    if b.size == 0:
+        return a.copy(), va.copy()
+    if (a.size > 1 and (a[:-1] >= a[1:]).any()) or (
+        b.size > 1 and (b[:-1] >= b[1:]).any()
+    ):
+        raise ValueError("merge_sorted_counts requires strictly increasing keys")
+    # Final position of each element: its own rank plus how many of the
+    # other array's keys precede it ('left' vs 'right' breaks the tie so
+    # a duplicated key lands in two adjacent slots).
+    pos_a = np.arange(a.size, dtype=np.intp) + np.searchsorted(b, a, side="left")
+    pos_b = np.arange(b.size, dtype=np.intp) + np.searchsorted(a, b, side="right")
+    n = a.size + b.size
+    keys = np.empty(n, dtype=np.uint64)
+    vals = np.empty(n, dtype=np.int64)
+    keys[pos_a] = a
+    keys[pos_b] = b
+    vals[pos_a] = va
+    vals[pos_b] = vb
+    # Collapse adjacent duplicates (each key occurs at most twice).
+    starts = np.concatenate(([0], np.flatnonzero(keys[1:] != keys[:-1]) + 1))
+    return keys[starts].copy(), np.add.reduceat(vals, starts).astype(np.int64)
 
 
 def _decode_kmer_strings(kmers: np.ndarray, k: int) -> list[str]:

@@ -21,7 +21,7 @@ from ..core.result import KmerCounts
 from ..core.serial import serial_count
 from ..seq.encoding import encode_seq
 from ..seq.fastx import SeqRecord, read_fastx
-from ..sort.accumulate import accumulate_weighted
+from .store import merge_sorted_counts
 
 __all__ = ["count_records_streaming", "count_file_streaming", "count_files_streaming"]
 
@@ -60,9 +60,8 @@ def count_records_streaming(
     for batch in _batches(records, batch_records):
         encoded = [encode_seq(r.seq, validate=False) for r in batch]
         partial = serial_count(encoded, k, canonical=canonical)
-        merged_keys, merged_vals = accumulate_weighted(
-            np.concatenate((merged_keys, partial.kmers)),
-            np.concatenate((merged_vals, partial.counts)),
+        merged_keys, merged_vals = merge_sorted_counts(
+            merged_keys, merged_vals, partial.kmers, partial.counts
         )
         seen += len(batch)
         if progress is not None:
@@ -91,13 +90,20 @@ def count_files_streaming(
     *,
     batch_records: int = 100_000,
     canonical: bool = False,
+    progress: Callable[[int, KmerCounts], None] | None = None,
 ) -> KmerCounts:
-    """Count several files into one database (multi-lane sequencing runs)."""
+    """Count several files into one database (multi-lane sequencing runs).
+
+    *progress* reports **global** records-so-far across the whole file
+    list — the counter never resets at a file boundary, so a caller
+    driving a progress bar sees one monotone stream, not N restarts.
+    """
 
     def chain() -> Iterator[SeqRecord]:
         for path in paths:
             yield from read_fastx(path)
 
     return count_records_streaming(
-        chain(), k, batch_records=batch_records, canonical=canonical
+        chain(), k,
+        batch_records=batch_records, canonical=canonical, progress=progress,
     )

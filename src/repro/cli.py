@@ -12,7 +12,12 @@ Subcommands:
 * ``chaos``    — fault-injection campaign: DAKC on a lossy fabric with
   the reliability/checkpoint layer, validated against the serial oracle.
 * ``serve-bench`` — query-serving benchmark: the sharded/batched/cached
-  read path vs. naive per-query lookups on a Zipf workload.
+  read path vs. naive per-query lookups on a Zipf workload (optionally
+  over a live LSM store).
+* ``ingest``   — durably append reads into an updatable LSM k-mer
+  store (WAL + memtable + sorted runs).
+* ``compact``  — merge an LSM store's runs down to the configured
+  read-amplification bound.
 """
 
 from __future__ import annotations
@@ -145,6 +150,8 @@ def build_parser() -> argparse.ArgumentParser:
                            "(written by `count --save`)")
     serve_src.add_argument("--dataset", default="synthetic-20",
                            help="Table V dataset key to count and serve")
+    serve_src.add_argument("--lsm-store", help="serve a live LSM store "
+                           "directory (written by `dakc ingest`)")
     p_serve.add_argument("-k", type=int, default=15, help="k-mer length")
     p_serve.add_argument("--budget", type=int, default=100_000,
                          help="replica k-mer budget when using --dataset")
@@ -172,6 +179,47 @@ def build_parser() -> argparse.ArgumentParser:
                          help="client groups kept in flight")
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--json", help="write the metrics snapshot here")
+
+    p_ing = sub.add_parser(
+        "ingest",
+        help="durably append reads into an updatable LSM k-mer store",
+    )
+    p_ing.add_argument("--store", required=True,
+                       help="store directory (created on first use)")
+    ing_src = p_ing.add_mutually_exclusive_group(required=True)
+    ing_src.add_argument("--input", help="FASTA/FASTQ file to ingest")
+    ing_src.add_argument("--dataset", help="Table V dataset key to ingest "
+                         "as a generated replica")
+    p_ing.add_argument("-k", type=int, default=31,
+                       help="k-mer length (checked against the store)")
+    p_ing.add_argument("--budget", type=int, default=100_000,
+                       help="replica k-mer budget when using --dataset")
+    p_ing.add_argument("--seed", type=int, default=0,
+                       help="replica seed when using --dataset")
+    p_ing.add_argument("--batch-records", type=int, default=10_000,
+                       help="reads per WAL record / ingest batch")
+    p_ing.add_argument("--memtable-mb", type=float, default=8.0,
+                       help="memtable byte budget before flushing a run")
+    p_ing.add_argument("--max-runs", type=int, default=8,
+                       help="run-count bound (read-amplification fan-in)")
+    p_ing.add_argument("--canonical", action="store_true",
+                       help="count canonical (strand-folded) k-mers")
+    p_ing.add_argument("--no-compact", action="store_true",
+                       help="skip inline compaction (compact later)")
+    p_ing.add_argument("--flush", action="store_true",
+                       help="flush the memtable to a run before exiting")
+
+    p_cpt = sub.add_parser(
+        "compact",
+        help="merge an LSM store's runs down to the configured bound",
+    )
+    p_cpt.add_argument("--store", required=True, help="store directory")
+    p_cpt.add_argument("--max-runs", type=int, default=8,
+                       help="run-count bound to compact down to")
+    p_cpt.add_argument("--fan-in", type=int, default=8,
+                       help="runs merged per compaction step")
+    p_cpt.add_argument("--flush", action="store_true",
+                       help="flush the memtable to a run first")
 
     p_tl = sub.add_parser("timeline", help="ASCII Gantt of a simulated run")
     p_tl.add_argument("--dataset", default="synthetic-20")
@@ -407,10 +455,100 @@ def _cmd_chaos(args) -> int:
     return 0 if all(o.passed for o in outcomes) else 1
 
 
+def _iter_ingest_batches(args):
+    """Yield read batches (lists of 1-D code arrays) for `dakc ingest`."""
+    if args.dataset:
+        from .bench.workloads import build_workload
+
+        w = build_workload(args.dataset, args.k, budget_kmers=args.budget)
+        reads = w.reads
+        for lo in range(0, reads.shape[0], args.batch_records):
+            yield [reads[i] for i in range(lo, min(lo + args.batch_records,
+                                                   reads.shape[0]))]
+        return
+    from .seq.encoding import encode_seq
+    from .seq.fastx import read_fastx
+
+    batch = []
+    for rec in read_fastx(args.input):
+        batch.append(encode_seq(rec.seq, validate=False))
+        if len(batch) >= args.batch_records:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def _cmd_ingest(args) -> int:
+    from .lsm import LsmConfig, LsmStore
+
+    config = LsmConfig(
+        memtable_bytes=int(args.memtable_mb * (1 << 20)),
+        max_runs=args.max_runs,
+        fan_in=args.max_runs,
+        canonical=args.canonical,
+        auto_compact=not args.no_compact,
+    )
+    with LsmStore(args.store, args.k, config=config) as store:
+        n = 0
+        for batch in _iter_ingest_batches(args):
+            n += store.ingest(batch)
+        if args.flush:
+            store.flush()
+            if not args.no_compact:
+                store.compact()
+        info = store.describe()
+        print(f"# store:      {args.store}  (k={store.k}, "
+              f"canonical={store.config.canonical})")
+        print(f"# ingested:   {n:,} records "
+              f"({store.stats.batches_ingested} WAL batches)")
+        print(f"# memtable:   {info['memtable']['n_distinct']:,} distinct, "
+              f"{info['memtable']['nbytes']:,} / "
+              f"{info['memtable']['budget_bytes']:,} bytes")
+        print(f"# runs:       {store.n_runs}  "
+              f"({store.stats.flushes} flushes, "
+              f"{store.stats.compactions} compactions this session)")
+        for run in info["runs"]:
+            print(f"#   {run['name']}: {run['n_keys']:,} keys, "
+                  f"{run['nbytes']:,} bytes")
+        print(f"# wal:        seq {info['wal']['last_seq']} "
+              f"(applied {info['wal']['applied_seq']}), "
+              f"{info['wal']['nbytes']:,} bytes")
+        print(f"# total occurrences: {store.total:,}")
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    from .lsm import LsmConfig, LsmStore
+
+    config = LsmConfig(max_runs=args.max_runs, fan_in=args.fan_in,
+                       auto_compact=False)
+    with LsmStore(args.store, config=config) as store:
+        before = store.n_runs
+        if args.flush:
+            store.flush()
+        merges = store.compact()
+        print(f"# store:   {args.store}  (k={store.k})")
+        print(f"# runs:    {before} -> {store.n_runs} "
+              f"({merges} merges, {store.stats.runs_merged} runs rewritten)")
+        for run in store.runs:
+            print(f"#   {run.path.name}: {run.n_keys:,} keys, "
+                  f"{run.nbytes:,} bytes")
+    return 0
+
+
 def _cmd_serve_bench(args) -> int:
     from .serve import EngineConfig, run_serve_bench
 
-    if args.database:
+    lsm_view = None
+    if args.lsm_store:
+        from .lsm import LsmStore
+
+        lsm = LsmStore(args.lsm_store)
+        kc = lsm.snapshot()
+        lsm_view = lsm.read_view(args.shards)
+        source = f"{args.lsm_store} (live LSM store, {lsm.n_runs} runs)"
+    elif args.database:
         from .apps.store import load_counts
 
         kc, _ = load_counts(args.database)
@@ -440,7 +578,10 @@ def _cmd_serve_bench(args) -> int:
         cache_threshold=args.cache_threshold,
         group_size=args.group_size,
         concurrency=args.concurrency,
+        store=lsm_view,
     )
+    if lsm_view is not None:
+        lsm_view.store.close()
     naive, served = result.naive.snapshot(), result.served.snapshot()
     print(f"# database:   {source}  ({kc.n_distinct:,} distinct, k={kc.k})")
     print(f"# workload:   {args.queries:,} queries, Zipf({args.zipf}), "
@@ -557,6 +698,8 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "chaos": _cmd_chaos,
     "serve-bench": _cmd_serve_bench,
+    "ingest": _cmd_ingest,
+    "compact": _cmd_compact,
     "analyze": _cmd_analyze,
     "compare": _cmd_compare,
     "timeline": _cmd_timeline,

@@ -1,0 +1,129 @@
+"""Size-tiered compaction: streaming k-way merge of sorted runs.
+
+Every flush adds a run, and every run a point read must probe is read
+amplification; compaction is the counter-force.  The policy is
+size-tiered (KMC-bin flavoured): when the store holds more than
+``max_runs`` runs, the ``fan_in`` *smallest* are merged into one —
+small runs are cheap to rewrite and merging peers of similar size
+keeps total write amplification logarithmic.
+
+The merge itself (:func:`merge_runs`) never materialises more than a
+bounded working set:
+
+1. each input run is cursored in ``chunk_keys``-element slices
+   (block-granular :meth:`~repro.lsm.run.Run.read_slice` reads);
+2. per iteration the *boundary* is the smallest last-loaded key across
+   runs — every key ``<= boundary`` is provably present in the loaded
+   slices (keys within a run are sorted and unique), so that prefix can
+   be merged (:func:`~repro.apps.store.merge_sorted_counts`, counts
+   summing) and emitted final;
+3. merged chunks append to raw spill files, which are then memmapped
+   and streamed into the final run file by
+   :func:`~repro.lsm.run.write_run` (NumPy copies memmaps in bounded
+   buffers).
+
+Peak memory is O(``fan_in`` x ``chunk_keys``) elements regardless of
+run sizes.  The output run is published with the same atomic
+``.tmp`` + ``os.replace`` dance as a flush, so a crash mid-compaction
+leaves the old runs authoritative and at worst an orphan file for the
+store's reopen sweep.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..apps.store import merge_sorted_counts
+from .run import Run, write_run
+
+__all__ = ["CompactionConfig", "pick_compaction", "merge_runs"]
+
+
+@dataclass(frozen=True)
+class CompactionConfig:
+    """Knobs bounding read amplification and merge memory."""
+
+    max_runs: int = 8        # compact when the store holds more runs
+    fan_in: int = 8          # runs merged per compaction
+    chunk_keys: int = 1 << 16  # merge working-set bound, per run
+
+    def __post_init__(self) -> None:
+        if self.max_runs < 1:
+            raise ValueError("max_runs must be >= 1")
+        if self.fan_in < 2:
+            raise ValueError("fan_in must be >= 2")
+        if self.chunk_keys < 1:
+            raise ValueError("chunk_keys must be >= 1")
+
+
+def pick_compaction(runs: list[Run], config: CompactionConfig) -> list[int] | None:
+    """Indices of the runs to merge next, or ``None`` if within bounds."""
+    if len(runs) <= config.max_runs:
+        return None
+    order = sorted(range(len(runs)), key=lambda i: runs[i].n_keys)
+    return sorted(order[: min(config.fan_in, len(runs))])
+
+
+def merge_runs(runs: list[Run], out_path: str | os.PathLike, k: int, *,
+               chunk_keys: int = 1 << 16, index_stride: int = 4096) -> None:
+    """Merge *runs* into one new run at *out_path* (counts summed)."""
+    if not runs:
+        raise ValueError("nothing to merge")
+    if any(r.k != k for r in runs):
+        raise ValueError("runs disagree on k")
+    out_path = Path(out_path)
+    spill_keys = out_path.with_name(out_path.name + ".keys.spill")
+    spill_vals = out_path.with_name(out_path.name + ".vals.spill")
+
+    cursors = [0] * len(runs)
+    loaded: list[tuple[np.ndarray, np.ndarray] | None] = [None] * len(runs)
+    n_out = 0
+    try:
+        with open(spill_keys, "wb") as fk, open(spill_vals, "wb") as fv:
+            while True:
+                # Refill: every unfinished run keeps one loaded slice.
+                ends = []
+                for i, r in enumerate(runs):
+                    if loaded[i] is None and cursors[i] < r.n_keys:
+                        loaded[i] = r.read_slice(cursors[i], cursors[i] + chunk_keys)
+                    if loaded[i] is not None:
+                        ends.append(int(loaded[i][0][-1]))
+                if not ends:
+                    break
+                boundary = np.uint64(min(ends))
+                # Cut every loaded slice at the boundary; the cut-off
+                # prefixes jointly hold *all* keys <= boundary.
+                pieces = []
+                for i in range(len(runs)):
+                    if loaded[i] is None:
+                        continue
+                    bk, bv = loaded[i]
+                    cut = int(np.searchsorted(bk, boundary, side="right"))
+                    if cut:
+                        pieces.append((bk[:cut], bv[:cut]))
+                    cursors[i] += cut
+                    loaded[i] = None if cut == bk.size else (bk[cut:], bv[cut:])
+                mk, mv = functools.reduce(
+                    lambda a, b: merge_sorted_counts(a[0], a[1], b[0], b[1]), pieces
+                )
+                fk.write(np.ascontiguousarray(mk).tobytes())
+                fv.write(np.ascontiguousarray(mv).tobytes())
+                n_out += int(mk.size)
+
+        if n_out:
+            keys = np.memmap(spill_keys, dtype=np.uint64, mode="r", shape=(n_out,))
+            vals = np.memmap(spill_vals, dtype=np.int64, mode="r", shape=(n_out,))
+        else:
+            keys = np.empty(0, dtype=np.uint64)
+            vals = np.empty(0, dtype=np.int64)
+        write_run(out_path, k, keys, vals, index_stride=index_stride)
+        del keys, vals
+    finally:
+        for spill in (spill_keys, spill_vals):
+            if spill.exists():
+                os.remove(spill)

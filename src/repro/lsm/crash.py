@@ -1,0 +1,54 @@
+"""Deterministic crash injection for the LSM store.
+
+Crash-recovery code is only trustworthy if every window between two
+durability points has a test that kills the process there.  A real
+``kill -9`` harness is slow and flaky; instead the store calls
+:meth:`CrashPoints.hit` at every named boundary (WAL append halves,
+run-file publication, either side of the ``MANIFEST`` swap, ...) and a
+test arms the one it wants.  An armed point raises
+:class:`SimulatedCrash` *once* — the store object is then abandoned,
+exactly like a dead process, and the test reopens the directory to
+check recovery.  The same idiom as :mod:`repro.fault`'s seeded fault
+plans: failures are injected deterministically, never sampled.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimulatedCrash", "CrashPoints", "CRASH_POINTS"]
+
+#: Every boundary the store announces, in ingest/flush/compact order.
+CRASH_POINTS: tuple[str, ...] = (
+    "wal.pre_append",        # nothing written: batch not acknowledged
+    "wal.mid_append",        # torn record on disk: batch not acknowledged
+    "wal.post_append",       # record durable, memtable not yet updated
+    "flush.post_run_write",  # run file published, MANIFEST still old
+    "flush.pre_manifest",    # ditto (tmp manifest may exist)
+    "flush.post_manifest",   # MANIFEST swapped, WAL not yet reset
+    "compact.post_run_write",  # merged run on disk, MANIFEST still old
+    "compact.pre_manifest",
+    "compact.post_manifest",   # MANIFEST swapped, victims not yet deleted
+)
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised at an armed crash point; the store must be abandoned."""
+
+
+class CrashPoints:
+    """Registry of armed crash points (one-shot each)."""
+
+    def __init__(self) -> None:
+        self._armed: set[str] = set()
+        self.fired: list[str] = []
+
+    def arm(self, name: str) -> None:
+        if name not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {name!r}")
+        self._armed.add(name)
+
+    def hit(self, name: str) -> None:
+        """Announce reaching *name*; raises if a test armed it."""
+        if name in self._armed:
+            self._armed.discard(name)
+            self.fired.append(name)
+            raise SimulatedCrash(name)

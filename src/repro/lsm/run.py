@@ -1,0 +1,220 @@
+"""Immutable sorted runs: the on-disk level of the LSM store.
+
+A run is a flushed memtable (or a compaction product): strictly
+increasing ``uint64`` keys with aligned ``int64`` counts, stored in the
+same ``.npz`` key/count layout as :mod:`repro.apps.store` databases
+plus three extras that make it servable without loading it whole:
+
+* **fences** — the min and max key, so a point lookup skips the run
+  (no I/O at all) when the key is out of range;
+* a **sparse index block** — every ``index_stride``-th key.  A lookup
+  binary-searches the (tiny, resident) index to find its block, then
+  reads just that ``index_stride``-sized slice of the key/count arrays
+  from disk;
+* an explicit element count ``n``.
+
+Partial reads work because runs are written with ``np.savez``
+*uncompressed*: the ``.npy`` members sit as contiguous ``ZIP_STORED``
+bytes inside the zip, so after parsing the member's local header once
+(:func:`_member_layout`) the element at index ``i`` lives at a fixed
+file offset and a block is one ``seek`` + ``read``.  If a run was
+(re)written compressed by some external tool, :class:`Run` degrades
+gracefully to loading the arrays fully.
+
+Runs are immutable and published atomically: :func:`write_run` writes
+``<name>.tmp`` and ``os.replace``\\ s it into place, so a crash leaves
+either no file or a complete one — never a half-written run.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zipfile
+from pathlib import Path
+
+import numpy as np
+from numpy.lib import format as npformat
+
+__all__ = ["RUN_VERSION", "write_run", "Run"]
+
+RUN_VERSION = 1
+
+
+def write_run(path: str | os.PathLike, k: int, keys: np.ndarray, vals: np.ndarray,
+              *, index_stride: int = 4096) -> None:
+    """Atomically write a sorted run (keys strictly increasing).
+
+    *keys*/*vals* may be memmaps — ``np.savez`` streams them in bounded
+    buffers, which is what keeps compaction's peak memory flat.
+    """
+    if index_stride < 1:
+        raise ValueError("index_stride must be >= 1")
+    path = Path(path)
+    n = int(keys.shape[0])
+    if n:
+        index_keys = np.ascontiguousarray(keys[::index_stride], dtype=np.uint64)
+        fence_min, fence_max = np.uint64(keys[0]), np.uint64(keys[-1])
+    else:
+        index_keys = np.empty(0, dtype=np.uint64)
+        fence_min = fence_max = np.uint64(0)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.savez(
+            fh,
+            version=np.int64(RUN_VERSION),
+            k=np.int64(k),
+            n=np.int64(n),
+            index_stride=np.int64(index_stride),
+            fence_min=fence_min,
+            fence_max=fence_max,
+            index_keys=index_keys,
+            kmers=keys,
+            counts=vals,
+        )
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _member_layout(fh, zf: zipfile.ZipFile, member: str):
+    """Data offset and dtype of an uncompressed ``.npy`` zip member.
+
+    Returns ``None`` when the member is compressed (fallback to a full
+    load).  Parses the *local* file header — its name/extra lengths can
+    differ from the central directory's — then the npy header behind
+    it.
+    """
+    info = zf.getinfo(member)
+    if info.compress_type != zipfile.ZIP_STORED:
+        return None
+    fh.seek(info.header_offset)
+    local = fh.read(30)
+    if len(local) != 30 or local[:4] != b"PK\x03\x04":
+        raise ValueError(f"bad zip local header for {member}")
+    name_len, extra_len = struct.unpack_from("<HH", local, 26)
+    fh.seek(info.header_offset + 30 + name_len + extra_len)
+    version = npformat.read_magic(fh)
+    if version == (1, 0):
+        shape, fortran, dtype = npformat.read_array_header_1_0(fh)
+    elif version == (2, 0):
+        shape, fortran, dtype = npformat.read_array_header_2_0(fh)
+    else:  # pragma: no cover - future npy versions
+        return None
+    if fortran or len(shape) != 1:
+        raise ValueError(f"{member}: expected a C-order 1-D array")
+    return fh.tell(), np.dtype(dtype), int(shape[0])
+
+
+class Run:
+    """One immutable sorted run, served with block-granular reads."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        with np.load(self.path) as data:
+            version = int(data["version"])
+            if version != RUN_VERSION:
+                raise ValueError(f"{self.path}: unsupported run version {version}")
+            self.k = int(data["k"])
+            self.n_keys = int(data["n"])
+            self.index_stride = int(data["index_stride"])
+            self.fence_min = int(data["fence_min"])
+            self.fence_max = int(data["fence_max"])
+            self.index_keys = data["index_keys"]
+        self._fh = None
+        self._layout: dict[str, tuple[int, np.dtype, int]] | None = None
+        self._resident: dict[str, np.ndarray] | None = None  # compressed fallback
+        # read-amplification accounting
+        self.point_queries = 0
+        self.blocks_read = 0
+        self.probes = 0
+
+    # -- raw access ----------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._fh is not None or self._resident is not None:
+            return
+        fh = open(self.path, "rb")
+        layout = {}
+        with zipfile.ZipFile(fh) as zf:
+            for member in ("kmers", "counts"):
+                lay = _member_layout(fh, zf, member + ".npy")
+                if lay is None:
+                    layout = None
+                    break
+                if lay[2] != self.n_keys:
+                    raise ValueError(f"{self.path}: {member} length != n")
+                layout[member] = lay
+        if layout is None:
+            fh.close()
+            with np.load(self.path) as data:
+                self._resident = {"kmers": data["kmers"], "counts": data["counts"]}
+        else:
+            self._fh = fh
+            self._layout = layout
+
+    def read_slice(self, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+        """Read ``keys[lo:hi], counts[lo:hi]`` (one seek+read each)."""
+        lo, hi = max(lo, 0), min(hi, self.n_keys)
+        if hi <= lo:
+            return np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
+        self._ensure_open()
+        if self._resident is not None:
+            return self._resident["kmers"][lo:hi], self._resident["counts"][lo:hi]
+        out = []
+        for member in ("kmers", "counts"):
+            offset, dtype, _n = self._layout[member]
+            self._fh.seek(offset + lo * dtype.itemsize)
+            buf = self._fh.read((hi - lo) * dtype.itemsize)
+            out.append(np.frombuffer(buf, dtype=dtype))
+        return out[0], out[1]
+
+    def load(self) -> tuple[np.ndarray, np.ndarray]:
+        """The whole run (compaction / snapshot input)."""
+        return self.read_slice(0, self.n_keys)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+            self._layout = None
+
+    # -- point lookups -------------------------------------------------
+
+    def get(self, keys: np.ndarray) -> np.ndarray:
+        """Batch point lookup touching only the index blocks it needs."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        out = np.zeros(keys.size, dtype=np.int64)
+        if self.n_keys == 0 or keys.size == 0:
+            return out
+        self.probes += 1
+        in_fence = (keys >= np.uint64(self.fence_min)) & (keys <= np.uint64(self.fence_max))
+        if not in_fence.any():
+            return out
+        self.point_queries += int(keys.size)
+        cand_pos = np.flatnonzero(in_fence)
+        cand = keys[cand_pos]
+        # index_keys[b] is the first key of block b, so 'right' - 1 is
+        # the only block that can contain the key.
+        blocks = np.searchsorted(self.index_keys, cand, side="right") - 1
+        for b in np.unique(blocks):
+            lo = int(b) * self.index_stride
+            bk, bc = self.read_slice(lo, lo + self.index_stride)
+            self.blocks_read += 1
+            sel = blocks == b
+            q = cand[sel]
+            idx = np.searchsorted(bk, q)
+            idx_c = np.minimum(idx, bk.size - 1)
+            hit = bk[idx_c] == q
+            out[cand_pos[sel]] = np.where(hit, bc[idx_c], 0)
+        return out
+
+    # -- accounting ----------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        return os.path.getsize(self.path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Run({self.path.name}, n={self.n_keys}, "
+                f"fences=[{self.fence_min:#x}, {self.fence_max:#x}])")

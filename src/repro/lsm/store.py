@@ -1,0 +1,384 @@
+"""``LsmStore`` — the updatable, crash-recoverable k-mer count store.
+
+Glues the layers into one log-structured store::
+
+    ingest(reads) --> WAL append --> count batch --> memtable merge
+                                         |  (byte budget exceeded)
+                                       flush --> immutable sorted run
+                                         |  (> max_runs runs)
+                                      compaction --> merged run
+
+    get(keys)  = memtable.get + sum over runs  (merge-on-read,
+                 newest first; counts are additive deltas)
+    snapshot() = full merge into one KmerCounts (a frozen database)
+
+Crash consistency is anchored on two facts:
+
+* the ``MANIFEST`` (a JSON file swapped with ``os.replace``) is the
+  *only* authority on which runs exist and which WAL prefix they
+  already contain (``wal_applied_seq``);
+* every other write is either append-only and checksummed (the WAL) or
+  published atomically under a fresh name (runs).
+
+So at any kill point the reopen path is the same: read the MANIFEST,
+delete files it does not know about, replay the WAL above the applied
+watermark.  Acknowledged batches (WAL append returned) are never lost,
+and replay never double-counts — the exact conventions of
+:mod:`repro.fault`'s ``CheckpointStore``, applied to storage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from ..apps.store import merge_sorted_counts
+from ..core.owner import owner_pe
+from ..core.result import KmerCounts
+from ..core.serial import serial_count
+from .compaction import CompactionConfig, merge_runs, pick_compaction
+from .crash import CrashPoints
+from .memtable import Memtable
+from .run import Run, write_run
+from .wal import WriteAheadLog, as_read_list
+
+__all__ = ["LsmConfig", "LsmStats", "LsmStore", "LsmReadView"]
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_FORMAT = 1
+WAL_NAME = "wal.log"
+
+
+@dataclass(frozen=True)
+class LsmConfig:
+    """Tuning knobs: memory budget, fan-in bound, durability."""
+
+    memtable_bytes: int = 8 << 20   # flush trigger (resident delta bytes)
+    max_runs: int = 8               # read-amplification bound (fan-in)
+    fan_in: int = 8                 # runs merged per compaction
+    chunk_keys: int = 1 << 16       # compaction working-set bound
+    index_stride: int = 4096        # sparse-index block size (keys)
+    canonical: bool = False         # strand-folded counting
+    wal_sync: bool = False          # fsync every WAL append
+    auto_compact: bool = True       # compact inline when runs exceed bound
+
+    def __post_init__(self) -> None:
+        if self.memtable_bytes < 1:
+            raise ValueError("memtable_bytes must be >= 1")
+        if self.index_stride < 1:
+            raise ValueError("index_stride must be >= 1")
+        CompactionConfig(self.max_runs, self.fan_in, self.chunk_keys)
+
+    @property
+    def compaction(self) -> CompactionConfig:
+        return CompactionConfig(self.max_runs, self.fan_in, self.chunk_keys)
+
+
+@dataclass
+class LsmStats:
+    """Operational counters of one open store."""
+
+    records_ingested: int = 0
+    batches_ingested: int = 0
+    replayed_batches: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    point_reads: int = 0      # keys answered by get()
+    run_probes: int = 0       # run consultations across those reads
+    runs_merged: int = 0
+
+    @property
+    def read_amplification(self) -> float:
+        """Mean runs consulted per point-read batch key."""
+        if not self.point_reads:
+            return 0.0
+        return self.run_probes / self.point_reads
+
+    def snapshot(self) -> dict:
+        return {
+            "records_ingested": self.records_ingested,
+            "batches_ingested": self.batches_ingested,
+            "replayed_batches": self.replayed_batches,
+            "flushes": self.flushes,
+            "compactions": self.compactions,
+            "runs_merged": self.runs_merged,
+            "point_reads": self.point_reads,
+            "run_probes": self.run_probes,
+            "read_amplification": self.read_amplification,
+        }
+
+
+class LsmStore:
+    """Updatable k-mer count store over a directory (open-or-create)."""
+
+    def __init__(self, path: str | os.PathLike, k: int | None = None, *,
+                 config: LsmConfig | None = None,
+                 crash: CrashPoints | None = None):
+        self.dir = Path(path)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.config = config or LsmConfig()
+        self.crash = crash or CrashPoints()
+        self.stats = LsmStats()
+
+        manifest_path = self.dir / MANIFEST_NAME
+        if manifest_path.exists():
+            man = json.loads(manifest_path.read_text())
+            if man.get("format") != MANIFEST_FORMAT:
+                raise ValueError(f"{manifest_path}: unsupported manifest format")
+            if k is not None and man["k"] != k:
+                raise ValueError(
+                    f"{self.dir}: store has k={man['k']}, requested k={k}")
+            self.k = int(man["k"])
+            # The manifest's canonical flag is authoritative for an
+            # existing store; the config value only applies at creation.
+            if man["canonical"] != self.config.canonical:
+                self.config = replace(self.config, canonical=man["canonical"])
+        else:
+            if k is None:
+                raise ValueError("creating a new store requires k")
+            self.k = k
+            man = {"format": MANIFEST_FORMAT, "k": k,
+                   "canonical": self.config.canonical,
+                   "runs": [], "next_run_id": 1, "wal_applied_seq": 0}
+            self._write_manifest(man)
+        self._man = man
+
+        self._sweep_orphans()
+        self.runs: list[Run] = [Run(self.dir / name) for name in man["runs"]]
+        self.memtable = Memtable(self.k)
+        self.wal = WriteAheadLog(self.dir / WAL_NAME, sync=self.config.wal_sync,
+                                 crash=self.crash)
+        for _seq, batch in self.wal.replay(after_seq=man["wal_applied_seq"]):
+            self._absorb(batch)
+            self.stats.replayed_batches += 1
+
+    # -- manifest / recovery -------------------------------------------
+
+    def _write_manifest(self, man: dict) -> None:
+        tmp = self.dir / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(man, indent=2) + "\n")
+        os.replace(tmp, self.dir / MANIFEST_NAME)
+
+    def _sweep_orphans(self) -> None:
+        """Delete files the MANIFEST does not acknowledge.
+
+        Crashes between publishing a run file and swapping the MANIFEST
+        (or between a compaction swap and victim deletion) leave such
+        files; they are dead weight, never wrong data.
+        """
+        known = set(self._man["runs"])
+        for p in self.dir.glob("run-*.npz"):
+            if p.name not in known:
+                p.unlink()
+        for p in self.dir.glob("*.tmp"):
+            p.unlink()
+        for p in self.dir.glob("*.spill"):
+            p.unlink()
+
+    # -- writes --------------------------------------------------------
+
+    def _absorb(self, batch: list[np.ndarray]) -> int:
+        """Count one read batch into the memtable (no WAL, no flush)."""
+        kc = serial_count(batch, self.k, canonical=self.config.canonical)
+        self.memtable.add_counts(kc.kmers, kc.counts)
+        return len(batch)
+
+    def ingest(self, reads: np.ndarray | list) -> int:
+        """Durably ingest one read batch; returns records absorbed.
+
+        The batch is acknowledged (and therefore crash-durable) once
+        this returns; a flush and compaction may run inline when the
+        memtable budget or the run bound is exceeded.
+        """
+        batch = as_read_list(reads)
+        if not batch:
+            return 0
+        self.wal.append(batch)
+        self._absorb(batch)
+        self.stats.records_ingested += len(batch)
+        self.stats.batches_ingested += 1
+        if self.memtable.nbytes >= self.config.memtable_bytes:
+            self.flush()
+            if self.config.auto_compact:
+                self.compact()
+        return len(batch)
+
+    def flush(self) -> Run | None:
+        """Freeze the memtable into a new immutable run (if non-empty)."""
+        if self.memtable.n_distinct == 0:
+            return None
+        applied = self.wal.last_seq
+        run_id = self._man["next_run_id"]
+        name = f"run-{run_id:06d}.npz"
+        write_run(self.dir / name, self.k, self.memtable.keys, self.memtable.vals,
+                  index_stride=self.config.index_stride)
+        self.crash.hit("flush.post_run_write")
+        new_man = dict(self._man,
+                       runs=[name] + list(self._man["runs"]),
+                       next_run_id=run_id + 1,
+                       wal_applied_seq=applied)
+        self.crash.hit("flush.pre_manifest")
+        self._write_manifest(new_man)
+        self._man = new_man
+        self.crash.hit("flush.post_manifest")
+        run = Run(self.dir / name)
+        self.runs.insert(0, run)
+        self.memtable.clear()
+        self.wal.reset(applied)
+        self.stats.flushes += 1
+        return run
+
+    def compact(self) -> int:
+        """Merge runs until within the ``max_runs`` bound; returns merges."""
+        merges = 0
+        while True:
+            sel = pick_compaction(self.runs, self.config.compaction)
+            if sel is None:
+                return merges
+            self._compact_once(sel)
+            merges += 1
+
+    def _compact_once(self, sel: list[int]) -> None:
+        victims = [self.runs[i] for i in sel]
+        run_id = self._man["next_run_id"]
+        name = f"run-{run_id:06d}.npz"
+        merge_runs(victims, self.dir / name, self.k,
+                   chunk_keys=self.config.chunk_keys,
+                   index_stride=self.config.index_stride)
+        self.crash.hit("compact.post_run_write")
+        new_names = list(self._man["runs"])
+        victim_names = {v.path.name for v in victims}
+        insert_at = min(sel)  # merged run takes the newest victim's slot
+        new_names = [n for n in new_names if n not in victim_names]
+        new_names.insert(insert_at, name)
+        new_man = dict(self._man, runs=new_names, next_run_id=run_id + 1)
+        self.crash.hit("compact.pre_manifest")
+        self._write_manifest(new_man)
+        self._man = new_man
+        self.crash.hit("compact.post_manifest")
+        merged = Run(self.dir / name)
+        self.runs = [r for r in self.runs if r.path.name not in victim_names]
+        self.runs.insert(insert_at, merged)
+        for v in victims:
+            v.close()
+            if v.path.exists():
+                v.path.unlink()
+        self.stats.compactions += 1
+        self.stats.runs_merged += len(victims)
+
+    # -- reads ---------------------------------------------------------
+
+    def get(self, keys: np.ndarray) -> np.ndarray:
+        """Merge-on-read batch lookup: memtable + every run, summed."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        out = self.memtable.get(keys)
+        for run in self.runs:
+            out += run.get(keys)
+        self.stats.point_reads += int(keys.size)
+        self.stats.run_probes += int(keys.size) * len(self.runs)
+        return out
+
+    def snapshot(self) -> KmerCounts:
+        """A frozen, fully merged :class:`KmerCounts` of the live state."""
+        keys, vals = self.memtable.keys.copy(), self.memtable.vals.copy()
+        for run in self.runs:
+            rk, rv = run.load()
+            keys, vals = merge_sorted_counts(keys, vals, rk, rv)
+        return KmerCounts(self.k, keys, vals)
+
+    def read_view(self, n_shards: int = 1) -> "LsmReadView":
+        """A live serving view pluggable into :class:`repro.serve`."""
+        return LsmReadView(self, n_shards)
+
+    # -- introspection / lifecycle -------------------------------------
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+    @property
+    def n_distinct(self) -> int:
+        """Distinct k-mers (upper bound: run key sets may overlap)."""
+        return self.memtable.n_distinct + sum(r.n_keys for r in self.runs)
+
+    @property
+    def total(self) -> int:
+        """Total k-mer occurrences across memtable and runs (exact)."""
+        total = self.memtable.total
+        for run in self.runs:
+            _rk, rv = run.load()
+            total += int(rv.sum()) if rv.size else 0
+        return total
+
+    def describe(self) -> dict:
+        """JSON-friendly store summary (the ``dakc ingest`` report)."""
+        return {
+            "dir": str(self.dir),
+            "k": self.k,
+            "canonical": self.config.canonical,
+            "memtable": {"n_distinct": self.memtable.n_distinct,
+                         "nbytes": self.memtable.nbytes,
+                         "budget_bytes": self.config.memtable_bytes},
+            "runs": [{"name": r.path.name, "n_keys": r.n_keys,
+                      "nbytes": r.nbytes} for r in self.runs],
+            "wal": {"last_seq": self.wal.last_seq,
+                    "applied_seq": self._man["wal_applied_seq"],
+                    "nbytes": self.wal.nbytes},
+            "stats": self.stats.snapshot(),
+        }
+
+    def close(self) -> None:
+        self.wal.close()
+        for run in self.runs:
+            run.close()
+
+    def __enter__(self) -> "LsmStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class LsmReadView:
+    """Duck-typed :class:`~repro.serve.shards.ShardedStore` over a live store.
+
+    The serve engine only needs routing (``n_shards``, ``shard_of``) and
+    batched lookups (``lookup_batch``); both are answered against the
+    *current* memtable + runs, so a :class:`~repro.serve.engine.QueryEngine`
+    holding this view serves exact counts while ingest and compaction
+    keep mutating the store underneath — no rebuild, no snapshot copy.
+    Sharding here is virtual (routing only): data stays in one store,
+    but the engine's per-shard micro-batchers still coalesce by owner.
+    """
+
+    def __init__(self, store: LsmStore, n_shards: int = 1):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.store = store
+        self.n_shards = n_shards
+        self.k = store.k
+
+    def shard_of(self, keys: np.ndarray | int) -> np.ndarray | int:
+        """splitmix64 routing, identical to :class:`ShardedStore`."""
+        scalar = np.isscalar(keys) or isinstance(keys, (int, np.integer))
+        ids = owner_pe(np.atleast_1d(np.asarray(keys, dtype=np.uint64)), self.n_shards)
+        return int(ids[0]) if scalar else ids
+
+    def lookup_batch(self, shard_id: int, keys: np.ndarray) -> np.ndarray:
+        """One merge-on-read lookup (shard id is routing-only)."""
+        return self.store.get(keys)
+
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        return self.store.get(keys)
+
+    def get(self, key: int) -> int:
+        """Scalar lookup (the naive baseline path)."""
+        return int(self.store.get(np.array([key], dtype=np.uint64))[0])
+
+    @property
+    def n_distinct(self) -> int:
+        return self.store.n_distinct

@@ -1,0 +1,200 @@
+"""Write-ahead log of encoded read batches.
+
+Durability for the LSM store's in-memory delta: every ``ingest`` batch
+is appended here *before* it is counted into the memtable, so a crash
+loses nothing that was acknowledged.  On reopen the store replays the
+records newer than the ``MANIFEST``'s ``wal_applied_seq`` watermark and
+rebuilds the memtable exactly.
+
+File layout (little-endian)::
+
+    header:  magic "DWAL" | u32 version | u64 base_seq
+    record:  u64 seq | u32 payload_len | u32 crc32(payload) | payload
+
+The payload is one encoded read batch (``u32 n_reads``, then the read
+lengths, then the concatenated 2-bit-code bytes).  Records carry their
+own length and CRC so a torn tail — the half-written record a crash
+mid-append leaves behind — is detected and truncated on open instead of
+being replayed as garbage.  ``base_seq`` in the header keeps sequence
+numbers monotone across :meth:`WriteAheadLog.reset` (after a flush the
+log is emptied but numbering must not restart below the manifest's
+applied watermark, or replay would double-count).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from collections.abc import Iterator
+from pathlib import Path
+
+import numpy as np
+
+from .crash import CrashPoints, SimulatedCrash
+
+__all__ = ["WriteAheadLog", "as_read_list"]
+
+_MAGIC = b"DWAL"
+_WAL_VERSION = 1
+_HEADER = struct.Struct("<4sIQ")      # magic, version, base_seq
+_REC_HEADER = struct.Struct("<QII")   # seq, payload_len, crc32
+
+
+def as_read_list(reads: np.ndarray | list) -> list[np.ndarray]:
+    """Normalise a read batch to a list of 1-D ``uint8`` code arrays.
+
+    Accepts the same shapes as :func:`repro.core.serial.serial_count`:
+    a 2-D code matrix (rows = equal-length reads) or a list of 1-D code
+    arrays.
+    """
+    if isinstance(reads, np.ndarray):
+        if reads.ndim == 1:
+            return [np.ascontiguousarray(reads, dtype=np.uint8)]
+        if reads.ndim == 2:
+            m = np.ascontiguousarray(reads, dtype=np.uint8)
+            return [m[i] for i in range(m.shape[0])]
+        raise ValueError("reads array must be 1-D or 2-D")
+    return [np.ascontiguousarray(r, dtype=np.uint8).reshape(-1) for r in reads]
+
+
+def _encode_batch(batch: list[np.ndarray]) -> bytes:
+    lens = np.array([r.size for r in batch], dtype=np.uint32)
+    parts = [struct.pack("<I", len(batch)), lens.tobytes()]
+    parts.extend(r.tobytes() for r in batch)
+    return b"".join(parts)
+
+
+def _decode_batch(payload: bytes) -> list[np.ndarray]:
+    (n,) = struct.unpack_from("<I", payload, 0)
+    lens = np.frombuffer(payload, dtype=np.uint32, count=n, offset=4)
+    out: list[np.ndarray] = []
+    off = 4 + 4 * n
+    for ln in lens.tolist():
+        out.append(np.frombuffer(payload, dtype=np.uint8, count=ln, offset=off).copy())
+        off += ln
+    return out
+
+
+class WriteAheadLog:
+    """Append-only, checksummed log of read batches with torn-tail repair."""
+
+    def __init__(self, path: str | os.PathLike, *,
+                 sync: bool = False, crash: CrashPoints | None = None):
+        self.path = Path(path)
+        self.sync = sync
+        self.crash = crash or CrashPoints()
+        self.last_seq = 0
+        self.records = 0
+        if self.path.exists():
+            self._open_and_repair()
+        else:
+            self._fh = open(self.path, "w+b")
+            self._write_header(0)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _write_header(self, base_seq: int) -> None:
+        self._fh.seek(0)
+        self._fh.write(_HEADER.pack(_MAGIC, _WAL_VERSION, base_seq))
+        self._fh.truncate()
+        self._flush()
+        self.last_seq = base_seq
+        self.records = 0
+
+    def _open_and_repair(self) -> None:
+        """Open an existing log; truncate any torn record at the tail."""
+        self._fh = open(self.path, "r+b")
+        header = self._fh.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            # Crash before the header finished: an empty log.
+            self._write_header(0)
+            return
+        magic, version, base_seq = _HEADER.unpack(header)
+        if magic != _MAGIC or version != _WAL_VERSION:
+            raise ValueError(f"{self.path}: not a DAKC write-ahead log")
+        self.last_seq = base_seq
+        valid_end = _HEADER.size
+        for seq, _payload, end in self._scan(self._fh, _HEADER.size):
+            self.last_seq = max(self.last_seq, seq)
+            self.records += 1
+            valid_end = end
+        if os.path.getsize(self.path) != valid_end:
+            self._fh.seek(valid_end)
+            self._fh.truncate()
+            self._flush()
+        self._fh.seek(0, os.SEEK_END)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    # -- record framing ------------------------------------------------
+
+    @staticmethod
+    def _scan(fh, start: int) -> Iterator[tuple[int, bytes, int]]:
+        """Yield ``(seq, payload, end_offset)`` for every valid record.
+
+        Stops (without raising) at the first truncated or corrupt
+        record — everything after a torn write is unreachable garbage.
+        """
+        fh.seek(start)
+        while True:
+            pos = fh.tell()
+            header = fh.read(_REC_HEADER.size)
+            if len(header) < _REC_HEADER.size:
+                return
+            seq, length, crc = _REC_HEADER.unpack(header)
+            payload = fh.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                return
+            yield seq, payload, pos + _REC_HEADER.size + length
+
+    # -- operations ----------------------------------------------------
+
+    def append(self, reads: np.ndarray | list) -> int:
+        """Durably append one read batch; returns its sequence number."""
+        batch = as_read_list(reads)
+        self.crash.hit("wal.pre_append")
+        seq = self.last_seq + 1
+        payload = _encode_batch(batch)
+        record = _REC_HEADER.pack(seq, len(payload), zlib.crc32(payload)) + payload
+        mid = len(record) // 2
+        self._fh.seek(0, os.SEEK_END)
+        self._fh.write(record[:mid])
+        try:
+            self.crash.hit("wal.mid_append")
+        except SimulatedCrash:
+            self._flush()  # leave the torn half on disk, like a real crash
+            raise
+        self._fh.write(record[mid:])
+        self._flush()
+        self.last_seq = seq
+        self.records += 1
+        self.crash.hit("wal.post_append")
+        return seq
+
+    def replay(self, *, after_seq: int = 0) -> Iterator[tuple[int, list[np.ndarray]]]:
+        """Yield ``(seq, batch)`` for every record with ``seq > after_seq``."""
+        self._fh.flush()
+        with open(self.path, "rb") as fh:
+            for seq, payload, _end in self._scan(fh, _HEADER.size):
+                if seq > after_seq:
+                    yield seq, _decode_batch(payload)
+        self._fh.seek(0, os.SEEK_END)
+
+    def reset(self, base_seq: int) -> None:
+        """Empty the log after a flush; numbering resumes above *base_seq*."""
+        if base_seq < self.last_seq:
+            raise ValueError("reset would rewind the sequence counter")
+        self._write_header(base_seq)
+
+    def _flush(self) -> None:
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+
+    @property
+    def nbytes(self) -> int:
+        self._fh.flush()
+        return os.path.getsize(self.path)

@@ -80,10 +80,18 @@ def run_serve_bench(
     cache_threshold: int = 2,
     group_size: int = 256,
     concurrency: int = 8,
+    store: ShardedStore | None = None,
 ) -> ServeBenchResult:
-    """Serve one Zipf stream naively and through the engine; compare."""
+    """Serve one Zipf stream naively and through the engine; compare.
+
+    *store* overrides the read path: anything quacking like a
+    :class:`ShardedStore` (``n_shards``/``shard_of``/``lookup_batch``/
+    ``get``) works — e.g. a live :class:`repro.lsm.LsmReadView` — while
+    *counts* still seeds the workload's popularity ranking.
+    """
     config = config or EngineConfig()
-    store = ShardedStore.from_counts(counts, n_shards)
+    if store is None:
+        store = ShardedStore.from_counts(counts, n_shards)
     stream = zipf_workload(
         counts, n_queries, s=zipf_s, seed=seed, miss_fraction=miss_fraction
     )

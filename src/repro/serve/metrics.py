@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,6 +43,20 @@ class LatencyHistogram:
         self.n = 0
         self.total = 0.0
         self.max_seen = 0.0
+
+    @classmethod
+    def like(cls, other: "LatencyHistogram") -> "LatencyHistogram":
+        """An empty histogram with exactly *other*'s bucket geometry."""
+        h = cls.__new__(cls)
+        h.lo = other.lo
+        h.growth = other.growth
+        h._log_growth = other._log_growth
+        h.n_buckets = other.n_buckets
+        h.counts = np.zeros_like(other.counts)
+        h.n = 0
+        h.total = 0.0
+        h.max_seen = 0.0
+        return h
 
     def _bucket(self, latency: float) -> int:
         if latency < self.lo:
@@ -104,6 +119,7 @@ class ServeMetrics:
     _queue_depth_sum: int = 0
     _queue_depth_samples: int = 0
     elapsed: float = 0.0        # wall-clock seconds of the measured run
+    _delta_base: dict | None = field(default=None, repr=False)
 
     # -- recording -----------------------------------------------------
 
@@ -165,6 +181,74 @@ class ServeMetrics:
                 "rejected": self.rejected,
             },
         }
+
+    def snapshot_delta(self, *, now: float | None = None) -> dict:
+        """Windowed summary: rates and quantiles since the *last* call.
+
+        Lifetime-averaged numbers hide regressions in a long-running
+        serve session — an hour of fast answers swamps a slow last
+        minute.  ``snapshot_delta`` diffs the histogram buckets and
+        counters against the previous call (the first call covers
+        everything so far) and derives p50/p95/p99 and throughput for
+        just that window.  *now* overrides the wall clock in tests.
+        """
+        t = time.perf_counter() if now is None else now
+        base = self._delta_base
+        if base is None:
+            base = {
+                "t": t - self.elapsed if self.elapsed > 0 else t,
+                "counts": np.zeros_like(self.latency.counts),
+                "lat_n": 0,
+                "lat_total": 0.0,
+                "n_queries": 0,
+                "n_found": 0,
+                "cache_hits": 0,
+                "cache_misses": 0,
+                "rejected": 0,
+            }
+        window = max(t - base["t"], 0.0)
+
+        # A throwaway histogram holding only this window's samples: the
+        # bucket geometry is shared, so quantiles fall out directly.
+        win = LatencyHistogram.like(self.latency)
+        win.counts = self.latency.counts - base["counts"]
+        win.n = self.latency.n - base["lat_n"]
+        win.total = self.latency.total - base["lat_total"]
+        win.max_seen = self.latency.max_seen  # lifetime bound (per-window max not tracked)
+
+        n_queries = self.n_queries - base["n_queries"]
+        hits = self.cache_hits - base["cache_hits"]
+        misses = self.cache_misses - base["cache_misses"]
+        doc = {
+            "window_s": window,
+            "n_queries": n_queries,
+            "n_found": self.n_found - base["n_found"],
+            "throughput_qps": n_queries / window if window > 0 else 0.0,
+            "latency_ms": {
+                "p50": win.quantile(0.50) * 1e3,
+                "p95": win.quantile(0.95) * 1e3,
+                "p99": win.quantile(0.99) * 1e3,
+                "mean": win.mean * 1e3,
+            },
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            },
+            "rejected": self.rejected - base["rejected"],
+        }
+        self._delta_base = {
+            "t": t,
+            "counts": self.latency.counts.copy(),
+            "lat_n": self.latency.n,
+            "lat_total": self.latency.total,
+            "n_queries": self.n_queries,
+            "n_found": self.n_found,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "rejected": self.rejected,
+        }
+        return doc
 
     def to_json(self, path: str | os.PathLike | None = None, **extra) -> str:
         """Render the snapshot (plus *extra* top-level keys) as JSON."""

@@ -7,7 +7,13 @@ import gzip
 import numpy as np
 import pytest
 
-from repro.apps.store import dump_text, load_counts, load_text, save_counts
+from repro.apps.store import (
+    dump_text,
+    load_counts,
+    load_text,
+    merge_sorted_counts,
+    save_counts,
+)
 from repro.core.result import KmerCounts
 from repro.core.serial import serial_count
 from repro.seq.kmers import kmer_to_str
@@ -53,6 +59,71 @@ class TestBinaryRoundTrip:
         )
         with pytest.raises(ValueError, match="version 99"):
             load_counts(path)
+
+    def test_expect_k_mismatch_rejected(self, db, tmp_path):
+        path = tmp_path / "db.npz"
+        save_counts(path, db)
+        loaded, _ = load_counts(path, expect_k=db.k)
+        assert loaded == db
+        with pytest.raises(ValueError, match=f"k={db.k}, expected k=31"):
+            load_counts(path, expect_k=31)
+
+    def test_non_database_npz_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, weights=np.zeros(4), bias=np.zeros(1))
+        with pytest.raises(ValueError, match="not a k-mer count database"):
+            load_counts(path)
+
+
+class TestMergeSortedCounts:
+    def _pairs(self, keys, vals):
+        return (np.array(keys, dtype=np.uint64), np.array(vals, dtype=np.int64))
+
+    def test_disjoint_and_overlapping(self):
+        ka, va = self._pairs([1, 5, 9], [2, 3, 4])
+        kb, vb = self._pairs([2, 5, 10], [10, 20, 30])
+        keys, vals = merge_sorted_counts(ka, va, kb, vb)
+        assert keys.tolist() == [1, 2, 5, 9, 10]
+        assert vals.tolist() == [2, 10, 23, 4, 30]
+        assert keys.dtype == np.uint64 and vals.dtype == np.int64
+
+    def test_empty_sides(self):
+        ka, va = self._pairs([3, 7], [1, 1])
+        empty_k, empty_v = self._pairs([], [])
+        for (xa, xv), (ya, yv) in [((ka, va), (empty_k, empty_v)),
+                                   ((empty_k, empty_v), (ka, va))]:
+            keys, vals = merge_sorted_counts(xa, xv, ya, yv)
+            assert keys.tolist() == [3, 7]
+            assert vals.tolist() == [1, 1]
+
+    def test_matches_accumulate_weighted_oracle(self, rng):
+        from repro.sort.accumulate import accumulate_weighted
+
+        ka = np.unique(rng.integers(0, 1 << 40, 500).astype(np.uint64))
+        kb = np.unique(rng.integers(0, 1 << 40, 700).astype(np.uint64))
+        va = rng.integers(1, 50, ka.size).astype(np.int64)
+        vb = rng.integers(1, 50, kb.size).astype(np.int64)
+        keys, vals = merge_sorted_counts(ka, va, kb, vb)
+        want_k, want_v = accumulate_weighted(
+            np.concatenate([ka, kb]), np.concatenate([va, vb])
+        )
+        assert np.array_equal(keys, want_k)
+        assert np.array_equal(vals, want_v)
+
+    def test_unsorted_input_rejected(self):
+        ka, va = self._pairs([5, 1], [1, 1])
+        kb, vb = self._pairs([2], [1])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            merge_sorted_counts(ka, va, kb, vb)
+        # Duplicates within one side are equally invalid.
+        kd, vd = self._pairs([2, 2], [1, 1])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            merge_sorted_counts(kd, vd, ka[:1], va[:1])
+
+    def test_misaligned_rejected(self):
+        ka, va = self._pairs([1, 2], [1, 1])
+        with pytest.raises(ValueError, match="aligned"):
+            merge_sorted_counts(ka, va[:1], ka, va)
 
 
 class TestTextRoundTrip:

@@ -1,0 +1,88 @@
+"""Tests for size-tiered compaction and the streaming k-way merge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lsm.compaction import CompactionConfig, merge_runs, pick_compaction
+from repro.lsm.run import Run, write_run
+from repro.sort.accumulate import accumulate_weighted
+
+
+def _make_run(tmp_path, name, rng, n, k=17):
+    keys = np.unique(rng.integers(0, 1 << 44, n).astype(np.uint64))
+    vals = rng.integers(1, 20, keys.size).astype(np.int64)
+    path = tmp_path / name
+    write_run(path, k, keys, vals, index_stride=128)
+    return Run(path), keys, vals
+
+
+class TestPolicy:
+    def _runs_with_sizes(self, tmp_path, rng, sizes):
+        return [_make_run(tmp_path, f"r{i}.npz", rng, n)[0]
+                for i, n in enumerate(sizes)]
+
+    def test_within_bound_is_none(self, tmp_path, rng):
+        runs = self._runs_with_sizes(tmp_path, rng, [100, 200, 300])
+        assert pick_compaction(runs, CompactionConfig(max_runs=3)) is None
+
+    def test_picks_smallest_fan_in(self, tmp_path, rng):
+        runs = self._runs_with_sizes(
+            tmp_path, rng, [5000, 60, 4000, 50, 3000])
+        sel = pick_compaction(runs, CompactionConfig(max_runs=4, fan_in=2))
+        assert sel == [1, 3]  # the two smallest, in index order
+
+    def test_fan_in_clamped_to_population(self, tmp_path, rng):
+        runs = self._runs_with_sizes(tmp_path, rng, [10, 20, 30])
+        sel = pick_compaction(runs, CompactionConfig(max_runs=2, fan_in=8))
+        assert sel == [0, 1, 2]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="fan_in"):
+            CompactionConfig(fan_in=1)
+        with pytest.raises(ValueError, match="max_runs"):
+            CompactionConfig(max_runs=0)
+        with pytest.raises(ValueError, match="chunk_keys"):
+            CompactionConfig(chunk_keys=0)
+
+
+class TestMergeRuns:
+    @pytest.mark.parametrize("chunk_keys", [1, 7, 1000, 1 << 16])
+    def test_chunk_size_invariance(self, tmp_path, rng, chunk_keys):
+        """Any chunking must yield the exact full-materialise merge."""
+        parts = [_make_run(tmp_path, f"in{i}.npz", rng, n)
+                 for i, n in enumerate([900, 50, 1700])]
+        runs = [p[0] for p in parts]
+        out = tmp_path / "out.npz"
+        merge_runs(runs, out, 17, chunk_keys=chunk_keys)
+        got_k, got_v = Run(out).load()
+        want_k, want_v = accumulate_weighted(
+            np.concatenate([p[1] for p in parts]),
+            np.concatenate([p[2] for p in parts]))
+        assert np.array_equal(got_k, want_k)
+        assert np.array_equal(got_v, want_v)
+
+    def test_spill_files_cleaned_up(self, tmp_path, rng):
+        run, _, _ = _make_run(tmp_path, "in.npz", rng, 500)
+        merge_runs([run], tmp_path / "out.npz", 17, chunk_keys=64)
+        assert not list(tmp_path.glob("*.spill"))
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_empty_inputs(self, tmp_path):
+        empty = tmp_path / "e.npz"
+        write_run(empty, 17, np.empty(0, dtype=np.uint64),
+                  np.empty(0, dtype=np.int64))
+        out = tmp_path / "out.npz"
+        merge_runs([Run(empty), Run(empty)], out, 17)
+        assert Run(out).n_keys == 0
+
+    def test_k_mismatch_rejected(self, tmp_path, rng):
+        a, _, _ = _make_run(tmp_path, "a.npz", rng, 100, k=17)
+        b, _, _ = _make_run(tmp_path, "b.npz", rng, 100, k=19)
+        with pytest.raises(ValueError, match="disagree on k"):
+            merge_runs([a, b], tmp_path / "out.npz", 17)
+
+    def test_nothing_to_merge_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="nothing to merge"):
+            merge_runs([], tmp_path / "out.npz", 17)

@@ -1,0 +1,64 @@
+"""Tests for the in-memory LSM delta (memtable)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lsm.memtable import Memtable
+from repro.sort.accumulate import accumulate_weighted
+
+
+class TestUpdates:
+    def test_add_counts_merges(self):
+        mt = Memtable(15)
+        mt.add_counts(np.array([2, 5], dtype=np.uint64),
+                      np.array([1, 3], dtype=np.int64))
+        mt.add_counts(np.array([2, 9], dtype=np.uint64),
+                      np.array([4, 2], dtype=np.int64))
+        assert mt.keys.tolist() == [2, 5, 9]
+        assert mt.vals.tolist() == [5, 3, 2]
+        assert mt.n_distinct == 3
+        assert mt.total == 10
+
+    def test_add_pairs_matches_accumulate_oracle(self, rng):
+        mt = Memtable(15)
+        all_k, all_w = [], []
+        for _ in range(5):
+            kmers = rng.integers(0, 1 << 30, 400).astype(np.uint64)
+            weights = rng.integers(1, 5, 400).astype(np.int64)
+            mt.add_pairs(kmers, weights)
+            all_k.append(kmers)
+            all_w.append(weights)
+        want_k, want_v = accumulate_weighted(
+            np.concatenate(all_k), np.concatenate(all_w))
+        assert np.array_equal(mt.keys, want_k)
+        assert np.array_equal(mt.vals, want_v)
+
+    def test_clear(self):
+        mt = Memtable(15)
+        mt.add_counts(np.array([1], dtype=np.uint64),
+                      np.array([1], dtype=np.int64))
+        mt.clear()
+        assert mt.n_distinct == 0 and mt.total == 0 and mt.nbytes == 0
+
+
+class TestReads:
+    def test_get_present_absent_and_extremes(self):
+        mt = Memtable(15)
+        mt.add_counts(np.array([10, 20, 30], dtype=np.uint64),
+                      np.array([1, 2, 3], dtype=np.int64))
+        q = np.array([5, 10, 25, 30, 2**64 - 1], dtype=np.uint64)
+        assert mt.get(q).tolist() == [0, 1, 0, 3, 0]
+
+    def test_get_on_empty(self):
+        mt = Memtable(15)
+        assert mt.get(np.array([7], dtype=np.uint64)).tolist() == [0]
+        assert mt.get(np.empty(0, dtype=np.uint64)).size == 0
+
+
+class TestAccounting:
+    def test_nbytes_tracks_resident_arrays(self):
+        mt = Memtable(15)
+        mt.add_counts(np.arange(100, dtype=np.uint64),
+                      np.ones(100, dtype=np.int64))
+        assert mt.nbytes == 100 * (8 + 8)

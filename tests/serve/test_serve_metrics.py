@@ -118,3 +118,50 @@ class TestServeMetrics:
         assert m.cache_hit_rate == 0.0
         assert m.mean_batch_size == 0.0
         assert m.queue_depth_mean == 0.0
+
+
+class TestSnapshotDelta:
+    def test_windowed_quantiles_and_rates(self):
+        m = ServeMetrics()
+        # Window 1: 100 fast queries at ~1 ms.
+        for _ in range(100):
+            m.latency.record(1e-3)
+        m.n_queries += 100
+        m.cache_hits += 60
+        m.cache_misses += 40
+        d1 = m.snapshot_delta(now=10.0)
+        assert d1["n_queries"] == 100
+        assert d1["latency_ms"]["p50"] == pytest.approx(1.0, rel=0.25)
+        assert d1["cache"]["hit_rate"] == pytest.approx(0.6)
+
+        # Window 2: 50 slow queries at ~100 ms.  The lifetime snapshot
+        # still reports a fast p50 (2/3 of samples are the old fast
+        # ones); the delta must report the slow window.
+        for _ in range(50):
+            m.latency.record(0.1)
+        m.n_queries += 50
+        m.cache_misses += 50
+        d2 = m.snapshot_delta(now=15.0)
+        assert d2["window_s"] == pytest.approx(5.0)
+        assert d2["n_queries"] == 50
+        assert d2["throughput_qps"] == pytest.approx(10.0)
+        assert d2["latency_ms"]["p50"] == pytest.approx(100.0, rel=0.25)
+        assert d2["cache"]["hit_rate"] == 0.0
+        lifetime_p50 = m.snapshot()["latency_ms"]["p50"]
+        assert lifetime_p50 < 10.0  # lifetime average hides the regression
+
+    def test_empty_window(self):
+        m = ServeMetrics()
+        m.latency.record(1e-3)
+        m.n_queries += 1
+        m.snapshot_delta(now=1.0)
+        d = m.snapshot_delta(now=2.0)
+        assert d["n_queries"] == 0
+        assert d["throughput_qps"] == 0.0
+        assert d["latency_ms"]["p50"] == 0.0
+
+    def test_json_serialisable(self):
+        m = ServeMetrics()
+        m.latency.record(2e-3)
+        m.n_queries += 1
+        json.dumps(m.snapshot_delta(now=1.0))

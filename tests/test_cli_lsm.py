@@ -1,0 +1,119 @@
+"""Tests for the LSM CLI verbs: ingest, compact, serve-bench --lsm-store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.serial import serial_count
+from repro.lsm import LsmStore
+from repro.seq.fastx import write_fastq
+from repro.seq.readsim import reads_to_records
+
+
+@pytest.fixture
+def fastq(tmp_path, small_reads):
+    path = tmp_path / "reads.fastq"
+    write_fastq(path, reads_to_records(small_reads))
+    return str(path)
+
+
+class TestIngest:
+    def test_ingest_fastq_matches_oracle(self, tmp_path, fastq, small_reads,
+                                         capsys):
+        store_dir = tmp_path / "db"
+        rc = main(["ingest", "--store", str(store_dir), "--input", fastq,
+                   "-k", "17", "--batch-records", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# ingested:   200 records (4 WAL batches)" in out
+        assert "# total occurrences:" in out
+        with LsmStore(store_dir) as store:
+            assert store.snapshot() == serial_count(small_reads, 17)
+
+    def test_ingest_is_incremental(self, tmp_path, fastq, small_reads, capsys):
+        store_dir = str(tmp_path / "db")
+        base = ["ingest", "--store", store_dir, "--input", fastq, "-k", "17"]
+        assert main(base) == 0
+        assert main(base) == 0  # same file again: counts double
+        capsys.readouterr()
+        with LsmStore(store_dir) as store:
+            want = serial_count(small_reads, 17)
+            assert store.total == 2 * want.total
+
+    def test_ingest_flush_publishes_run(self, tmp_path, fastq, capsys):
+        store_dir = tmp_path / "db"
+        rc = main(["ingest", "--store", str(store_dir), "--input", fastq,
+                   "-k", "17", "--flush"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run-000001.npz" in out
+        assert (store_dir / "run-000001.npz").exists()
+
+    def test_ingest_dataset_replica(self, tmp_path, capsys):
+        rc = main(["ingest", "--store", str(tmp_path / "db"),
+                   "--dataset", "synthetic-20", "-k", "15",
+                   "--budget", "30000", "--batch-records", "200"])
+        assert rc == 0
+        assert "# ingested:" in capsys.readouterr().out
+
+    def test_ingest_k_mismatch_fails(self, tmp_path, fastq, capsys):
+        store_dir = str(tmp_path / "db")
+        assert main(["ingest", "--store", store_dir, "--input", fastq,
+                     "-k", "17"]) == 0
+        rc = main(["ingest", "--store", store_dir, "--input", fastq,
+                   "-k", "21"])
+        assert rc == 2
+        assert "has k=17" in capsys.readouterr().err
+
+
+class TestCompact:
+    def test_compact_to_bound(self, tmp_path, fastq, small_reads, capsys):
+        store_dir = str(tmp_path / "db")
+        # Tiny memtable + --no-compact: one run per WAL batch piles up.
+        assert main(["ingest", "--store", store_dir, "--input", fastq,
+                     "-k", "17", "--batch-records", "50",
+                     "--memtable-mb", "0.000001", "--no-compact"]) == 0
+        with LsmStore(store_dir) as store:
+            assert store.n_runs == 4
+        capsys.readouterr()
+        rc = main(["compact", "--store", store_dir, "--max-runs", "1",
+                   "--fan-in", "8"])
+        assert rc == 0
+        assert "# runs:    4 -> 1" in capsys.readouterr().out
+        with LsmStore(store_dir) as store:
+            assert store.n_runs == 1
+            assert store.snapshot() == serial_count(small_reads, 17)
+
+    def test_compact_flush_first(self, tmp_path, fastq, capsys):
+        store_dir = str(tmp_path / "db")
+        assert main(["ingest", "--store", store_dir, "--input", fastq,
+                     "-k", "17"]) == 0  # everything still in the memtable
+        capsys.readouterr()
+        rc = main(["compact", "--store", store_dir, "--flush"])
+        assert rc == 0
+        assert "# runs:    0 -> 1" in capsys.readouterr().out
+
+    def test_compact_missing_store_fails(self, tmp_path, capsys):
+        rc = main(["compact", "--store", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "requires k" in capsys.readouterr().err
+
+
+class TestServeBenchLsm:
+    def test_serve_bench_over_live_store(self, tmp_path, fastq, capsys):
+        store_dir = str(tmp_path / "db")
+        assert main(["ingest", "--store", store_dir, "--input", fastq,
+                     "-k", "17", "--flush"]) == 0
+        capsys.readouterr()
+        rc = main(["serve-bench", "--lsm-store", store_dir,
+                   "--queries", "2000", "--shards", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "live LSM store" in out
+        assert "answers match: True" in out
+
+    def test_serve_bench_missing_store_fails(self, tmp_path, capsys):
+        rc = main(["serve-bench", "--lsm-store", str(tmp_path / "nope"),
+                   "--queries", "100"])
+        assert rc == 2
