@@ -1,0 +1,100 @@
+"""Extension bench: the replicated serving cluster (repro.cluster).
+
+Three claims, one seeded campaign (``BENCH_cluster.json``):
+
+* **overhead** — fault-free, routing every batch through the
+  replica-aware :class:`~repro.cluster.router.ClusterRouter` costs
+  < 15% throughput vs. the direct single-copy
+  :class:`~repro.serve.engine.QueryEngine` on the same Zipf stream:
+  redundancy is nearly free when nothing is wrong;
+* **hedging** — with one straggler node (CostModel-style clock
+  dilation, the same fault vocabulary as ``repro.fault``), hedged
+  requests cut client-visible p99 latency vs. the identical cluster
+  with hedging disabled — the "tail at scale" effect, reproduced on
+  the k-mer read path;
+* **chaos exactness** — with RF=2, killing a node mid-stream and then
+  live-rebalancing (a fresh node joins, the corpse leaves, key ranges
+  stream between nodes in bounded chunks while serving) loses zero
+  answers: every issued query returns the bit-exact serial-oracle
+  count before, during, and after the movement.
+
+Under ``--quick`` the workload shrinks, thresholds relax, and the
+document is written to ``BENCH_cluster_quick.json`` so CI uploads
+fresh evidence without overwriting the recorded full-run numbers.
+"""
+
+import json
+
+from repro.bench.workloads import build_workload
+from repro.cluster import run_cluster_bench
+from repro.core.serial import serial_count
+
+from _common import RESULTS_DIR
+
+SEED = 0
+
+
+def test_extension_cluster_replicated_serving(benchmark, quick):
+    budget = 30_000 if quick else 120_000
+    n_queries = 5_000 if quick else 30_000
+    repeats = 1 if quick else 3
+    # Straggler is 100x the healthy service time in both modes; quick
+    # shrinks absolute delays to keep the smoke run fast.
+    service_time = 1e-4 if quick else 2e-4
+    straggler_delay = 1e-2 if quick else 2e-2
+    max_overhead = 0.40 if quick else 0.15
+    max_p99_ratio = 0.90 if quick else 0.70
+
+    w = build_workload("synthetic-24", 21, budget_kmers=budget)
+    counts = serial_count(w.reads, 21)
+
+    def run():
+        return run_cluster_bench(
+            counts,
+            n_nodes=6,
+            rf=2,
+            vnodes=16,
+            n_queries=n_queries,
+            zipf_s=1.1,
+            seed=SEED,
+            miss_fraction=0.02,
+            group_size=256,
+            concurrency=8,
+            service_time=service_time,
+            straggler_delay=straggler_delay,
+            chunk_keys=2048,
+            repeats=repeats,
+        )
+
+    doc = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    ov, hd, ch = doc["overhead"], doc["hedging"], doc["chaos"]
+
+    # Every section must agree with the serial oracle bit-for-bit.
+    assert ov["answers_match"]
+    assert hd["hedged"]["answers_match"] and hd["unhedged"]["answers_match"]
+
+    # Claim 1: fault-free router overhead vs. the direct engine.
+    assert ov["overhead_frac"] < max_overhead, (
+        f"router {ov['router_qps']:,.0f} qps vs engine "
+        f"{ov['engine_qps']:,.0f} qps = {ov['overhead_frac']:+.1%} overhead"
+    )
+
+    # Claim 2: hedging cuts p99 under an injected straggler.
+    assert hd["hedged"]["hedges_fired"] > 0
+    assert hd["hedged"]["p99_ms"] < max_p99_ratio * hd["unhedged"]["p99_ms"], (
+        f"hedged p99 {hd['hedged']['p99_ms']:.2f} ms vs unhedged "
+        f"{hd['unhedged']['p99_ms']:.2f} ms"
+    )
+
+    # Claim 3: RF=2 chaos — a node kill mid-load plus a join/leave
+    # rebalance loses zero answers and never exhausts a replica set.
+    assert ch["answers_exact"], f"chaos exactness: {ch['exact']}"
+    assert ch["lost_answers"] == 0
+    assert ch["failovers"] == 0
+    assert ch["final_rf_ok"]
+    assert ch["rebalance"]["moved_keys"] > 0
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = "BENCH_cluster_quick.json" if quick else "BENCH_cluster.json"
+    (RESULTS_DIR / name).write_text(json.dumps(doc, indent=2) + "\n")

@@ -14,6 +14,9 @@ Subcommands:
 * ``serve-bench`` — query-serving benchmark: the sharded/batched/cached
   read path vs. naive per-query lookups on a Zipf workload (optionally
   over a live LSM store).
+* ``cluster-bench`` — replicated serving-cluster benchmark: router
+  overhead, hedged-request tail latency under a straggler, and the
+  RF=2 chaos proof (node kill + live rebalance, bit-exact answers).
 * ``ingest``   — durably append reads into an updatable LSM k-mer
   store (WAL + memtable + sorted runs).
 * ``compact``  — merge an LSM store's runs down to the configured
@@ -179,6 +182,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="client groups kept in flight")
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--json", help="write the metrics snapshot here")
+
+    p_cl = sub.add_parser(
+        "cluster-bench",
+        help="replicated serving cluster: router overhead, hedged "
+        "tail latency under a straggler, and the RF=2 chaos proof",
+    )
+    cl_src = p_cl.add_mutually_exclusive_group()
+    cl_src.add_argument("--database", help=".npz count database to serve "
+                        "(written by `count --save`)")
+    cl_src.add_argument("--dataset", default="synthetic-20",
+                        help="Table V dataset key to count and serve")
+    p_cl.add_argument("-k", type=int, default=15, help="k-mer length")
+    p_cl.add_argument("--budget", type=int, default=100_000,
+                      help="replica k-mer budget when using --dataset")
+    p_cl.add_argument("--cluster-nodes", type=int, default=6,
+                      help="cluster members (each holds an rf/N slice)")
+    p_cl.add_argument("--rf", type=int, default=2,
+                      help="replication factor (copies of every key)")
+    p_cl.add_argument("--vnodes", type=int, default=16,
+                      help="virtual nodes (ring tokens) per member")
+    p_cl.add_argument("--queries", type=int, default=30_000,
+                      help="queries in the generated Zipf stream")
+    p_cl.add_argument("--zipf", type=float, default=1.1,
+                      help="Zipf exponent of key popularity")
+    p_cl.add_argument("--miss-fraction", type=float, default=0.02,
+                      help="fraction of queries for absent keys")
+    p_cl.add_argument("--group-size", type=int, default=256,
+                      help="keys per client batch")
+    p_cl.add_argument("--concurrency", type=int, default=8,
+                      help="client batches kept in flight")
+    p_cl.add_argument("--service-time", type=float, default=2e-4,
+                      help="simulated seconds per node batch lookup")
+    p_cl.add_argument("--straggler-delay", type=float, default=2e-2,
+                      help="dilated service time of the injected straggler")
+    p_cl.add_argument("--chunk-keys", type=int, default=2048,
+                      help="keys per rebalance copy chunk")
+    p_cl.add_argument("--repeats", type=int, default=3,
+                      help="best-of repeats for the overhead section")
+    p_cl.add_argument("--seed", type=int, default=0)
+    p_cl.add_argument("--json", help="write the benchmark document here")
 
     p_ing = sub.add_parser(
         "ingest",
@@ -612,6 +655,73 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_cluster_bench(args) -> int:
+    from .cluster import run_cluster_bench
+
+    if args.database:
+        from .apps.store import load_counts
+
+        kc, _ = load_counts(args.database)
+        source = args.database
+    else:
+        from .bench.workloads import build_workload
+        from .core.serial import serial_count
+
+        w = build_workload(args.dataset, args.k, budget_kmers=args.budget)
+        kc = serial_count(w.reads, args.k)
+        source = f"{w.spec.display} (replica)"
+
+    doc = run_cluster_bench(
+        kc,
+        n_nodes=args.cluster_nodes,
+        rf=args.rf,
+        vnodes=args.vnodes,
+        n_queries=args.queries,
+        zipf_s=args.zipf,
+        seed=args.seed,
+        miss_fraction=args.miss_fraction,
+        group_size=args.group_size,
+        concurrency=args.concurrency,
+        service_time=args.service_time,
+        straggler_delay=args.straggler_delay,
+        chunk_keys=args.chunk_keys,
+        repeats=args.repeats,
+    )
+    ov, hd, ch = doc["overhead"], doc["hedging"], doc["chaos"]
+    print(f"# database:  {source}  ({kc.n_distinct:,} distinct, k={kc.k})")
+    print(f"# cluster:   {args.cluster_nodes} nodes, rf={args.rf}, "
+          f"{args.vnodes} vnodes, seed {args.seed}")
+    print(f"# workload:  {args.queries:,} queries, Zipf({args.zipf}), "
+          f"{args.miss_fraction:.0%} misses")
+    print(f"# overhead:  engine {ov['engine_qps']:,.0f} qps vs "
+          f"router {ov['router_qps']:,.0f} qps "
+          f"({ov['overhead_frac']:+.1%}; answers match: "
+          f"{ov['answers_match']})")
+    print(f"# hedging:   p99 {hd['unhedged']['p99_ms']:.2f} ms unhedged -> "
+          f"{hd['hedged']['p99_ms']:.2f} ms hedged "
+          f"({hd['p99_reduction']:.1%} cut; "
+          f"{hd['hedged']['hedges_fired']} fired, "
+          f"{hd['hedged']['hedges_won']} won)")
+    reb = ch["rebalance"] or {}
+    print(f"# chaos:     killed node {ch['killed_node']}, joined "
+          f"{ch['joined_node']}, moved {reb.get('moved_keys', 0):,} keys "
+          f"in {reb.get('chunks', 0)} chunks")
+    print(f"# exactness: {ch['exact']}  (retries {ch['retries']}, "
+          f"failovers {ch['failovers']})")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"# wrote benchmark document to {args.json}")
+    if not (ov["answers_match"] and ch["answers_exact"]):
+        print("error: cluster answers diverged from the serial oracle",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_datasets(_args) -> int:
     from .bench.tables import print_table
     from .seq.datasets import table5_rows
@@ -698,6 +808,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "chaos": _cmd_chaos,
     "serve-bench": _cmd_serve_bench,
+    "cluster-bench": _cmd_cluster_bench,
     "ingest": _cmd_ingest,
     "compact": _cmd_compact,
     "analyze": _cmd_analyze,

@@ -1,0 +1,58 @@
+"""repro.cluster — replicated, self-healing serving cluster.
+
+The serving layer (:mod:`repro.serve`) answers queries from one copy
+of the counted table; this package makes that copy *redundant* and the
+service *self-healing*:
+
+* :mod:`~repro.cluster.ring` — consistent-hash ring with virtual
+  nodes over the same splitmix64 key space the counting layer's
+  ``owner_pe`` uses, placing every key on ``rf`` distinct replicas;
+* :mod:`~repro.cluster.node` — cluster members with health states
+  (up / degraded / down) and :class:`~repro.fault.FaultPlan` hooks;
+* :mod:`~repro.cluster.router` — client-facing routing with retry,
+  backoff, and hedged requests (tail-latency insurance);
+* :mod:`~repro.cluster.rebalance` — live node join/leave streaming
+  key ranges in bounded chunks while the cluster keeps serving exact
+  answers;
+* :mod:`~repro.cluster.metrics` / :mod:`~repro.cluster.bench` —
+  observability rollups and the ``dakc cluster-bench`` campaign.
+"""
+
+from .bench import expected_counts, route_replay, run_cluster_bench
+from .metrics import ClusterMetrics, rollup_nodes
+from .node import ClusterNode, NodeDown, NodeState, RangeStore, build_cluster
+from .rebalance import (
+    Move,
+    RebalanceError,
+    RebalancePlan,
+    RebalanceReport,
+    plan_rebalance,
+    rebalance,
+)
+from .ring import HashRing, RoutingTable, interval_mask
+from .router import ClusterRouter, RangeUnavailable, RouterConfig
+
+__all__ = [
+    "HashRing",
+    "RoutingTable",
+    "interval_mask",
+    "NodeState",
+    "NodeDown",
+    "RangeStore",
+    "ClusterNode",
+    "build_cluster",
+    "RouterConfig",
+    "RangeUnavailable",
+    "ClusterRouter",
+    "ClusterMetrics",
+    "rollup_nodes",
+    "Move",
+    "RebalancePlan",
+    "RebalanceError",
+    "RebalanceReport",
+    "plan_rebalance",
+    "rebalance",
+    "route_replay",
+    "expected_counts",
+    "run_cluster_bench",
+]

@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, replace
+from typing import Callable
 from pathlib import Path
 
 import numpy as np
@@ -150,6 +151,10 @@ class LsmStore:
         self._sweep_orphans()
         self.runs: list[Run] = [Run(self.dir / name) for name in man["runs"]]
         self.memtable = Memtable(self.k)
+        # Ingest listeners (e.g. a serving cache invalidating updated
+        # keys).  Must exist before WAL replay — replay absorbs batches
+        # through the same path, before any listener can subscribe.
+        self._listeners: list = []
         self.wal = WriteAheadLog(self.dir / WAL_NAME, sync=self.config.wal_sync,
                                  crash=self.crash)
         for _seq, batch in self.wal.replay(after_seq=man["wal_applied_seq"]):
@@ -185,7 +190,25 @@ class LsmStore:
         """Count one read batch into the memtable (no WAL, no flush)."""
         kc = serial_count(batch, self.k, canonical=self.config.canonical)
         self.memtable.add_counts(kc.kmers, kc.counts)
+        for listener in self._listeners:
+            listener(kc.kmers)
         return len(batch)
+
+    def subscribe(self, listener: Callable) -> Callable[[], None]:
+        """Call *listener(updated_kmers)* after every absorbed batch.
+
+        The argument is the batch's distinct k-mer array (uint64,
+        sorted).  Anything caching answers over this store must
+        invalidate those keys or it will serve pre-ingest counts.
+        Returns an unsubscribe callable.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
 
     def ingest(self, reads: np.ndarray | list) -> int:
         """Durably ingest one read batch; returns records absorbed.
@@ -378,6 +401,10 @@ class LsmReadView:
     def get(self, key: int) -> int:
         """Scalar lookup (the naive baseline path)."""
         return int(self.store.get(np.array([key], dtype=np.uint64))[0])
+
+    def subscribe(self, listener: Callable) -> Callable[[], None]:
+        """Delegate ingest notifications to the underlying store."""
+        return self.store.subscribe(listener)
 
     @property
     def n_distinct(self) -> int:

@@ -103,6 +103,20 @@ class HotKeyCache:
         """Drop one key (e.g. after a database rebuild)."""
         return self._data.pop(key, None) is not None
 
+    def invalidate_many(self, keys) -> int:
+        """Drop every cached entry in *keys*; returns entries dropped.
+
+        The ingest-invalidation hook: a live store notifies with the
+        distinct k-mers of each absorbed batch, and any of them that
+        were cached must be forgotten or the cache would keep serving
+        pre-ingest counts.
+        """
+        dropped = 0
+        for key in keys:
+            if self._data.pop(int(key), None) is not None:
+                dropped += 1
+        return dropped
+
     def clear(self) -> None:
         self._data.clear()
         self._seen.clear()

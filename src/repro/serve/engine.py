@@ -108,6 +108,7 @@ class QueryEngine:
         self._workers: list[asyncio.Task] = []
         self._inflight = 0
         self._running = False
+        self._unsubscribe = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -120,12 +121,20 @@ class QueryEngine:
             for sid in range(self.store.n_shards)
             for _ in range(self.config.workers_per_shard)
         ]
+        # A live store (e.g. LsmReadView) keeps changing answers under
+        # us; drop cached entries for every ingested key or the cache
+        # would serve pre-ingest counts forever.
+        if self.cache is not None and hasattr(self.store, "subscribe"):
+            self._unsubscribe = self.store.subscribe(self.cache.invalidate_many)
         self._running = True
 
     async def stop(self) -> None:
         if not self._running:
             return
         self._running = False
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
         for task in self._workers:
             task.cancel()
         await asyncio.gather(*self._workers, return_exceptions=True)

@@ -135,6 +135,11 @@ class ServeMetrics:
         return self.n_queries / self.elapsed if self.elapsed > 0 else 0.0
 
     @property
+    def rejected_qps(self) -> float:
+        """Admission-control rejections per second over the run."""
+        return self.rejected / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
     def cache_hit_rate(self) -> float:
         seen = self.cache_hits + self.cache_misses
         return self.cache_hits / seen if seen else 0.0
@@ -179,6 +184,7 @@ class ServeMetrics:
                 "depth_max": self.queue_depth_max,
                 "depth_mean": self.queue_depth_mean,
                 "rejected": self.rejected,
+                "rejected_qps": self.rejected_qps,
             },
         }
 
@@ -236,6 +242,8 @@ class ServeMetrics:
                 "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
             },
             "rejected": self.rejected - base["rejected"],
+            "rejected_qps": (self.rejected - base["rejected"]) / window
+            if window > 0 else 0.0,
         }
         self._delta_base = {
             "t": t,

@@ -49,6 +49,8 @@ class Shard:
     def lookup(self, keys: np.ndarray) -> np.ndarray:
         """Vectorised batch lookup; absent keys answer 0."""
         keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.int64)
         if self.kmers.size == 0:
             return np.zeros(keys.size, dtype=np.int64)
         idx = np.searchsorted(self.kmers, keys)

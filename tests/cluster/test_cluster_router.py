@@ -1,0 +1,209 @@
+"""Tests for the cluster router: routing, retries, hedging, failover."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cluster.bench import expected_counts, route_replay
+from repro.cluster.node import ClusterNode, RangeStore, build_cluster
+from repro.cluster.router import ClusterRouter, RangeUnavailable, RouterConfig
+from repro.core.serial import serial_count
+
+
+@pytest.fixture(scope="module")
+def db(small_reads):
+    return serial_count(small_reads, 15)
+
+
+def make_cluster(db, n_nodes=4, rf=2, seed=0, **kw):
+    ring, nodes = build_cluster(db, n_nodes, rf=rf, seed=seed, **kw)
+    return ring, nodes
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RouterConfig(hedge_quantile=1.5)
+        with pytest.raises(ValueError):
+            RouterConfig(hedge_min_delay=1.0, hedge_max_delay=0.5)
+        with pytest.raises(ValueError):
+            RouterConfig(max_retry_rounds=0)
+        with pytest.raises(ValueError):
+            RouterConfig(backoff_base=0.0)
+
+    def test_router_rejects_missing_nodes(self, db):
+        ring, nodes = make_cluster(db)
+        nodes.pop(0)
+        with pytest.raises(ValueError):
+            ClusterRouter(ring, nodes)
+
+
+class TestFaultFree:
+    def test_exact_answers(self, db, rng):
+        ring, nodes = make_cluster(db)
+        router = ClusterRouter(ring, nodes)
+        keys = rng.choice(db.kmers, size=1000)
+        miss = rng.integers(0, 2**63, size=50, dtype=np.uint64)
+        stream = np.concatenate([keys.astype(np.uint64), miss])
+        out = run(route_replay(router, stream, group_size=128))
+        assert np.array_equal(out, expected_counts(db, stream))
+        assert router.metrics.retries == 0
+        assert router.metrics.failovers == 0
+
+    def test_empty_batch(self, db):
+        ring, nodes = make_cluster(db)
+        router = ClusterRouter(ring, nodes)
+        out = run(router.query_many(np.empty(0, dtype=np.uint64)))
+        assert out.size == 0
+
+    def test_scalar_query(self, db):
+        ring, nodes = make_cluster(db)
+        router = ClusterRouter(ring, nodes)
+        key = int(db.kmers[7])
+        assert run(router.query(key)) == int(db.counts[7])
+
+    def test_rotation_spreads_load(self, db):
+        """With RF=2 both replicas of a range should serve some traffic."""
+        ring, nodes = make_cluster(db, n_nodes=3, rf=2)
+        router = ClusterRouter(ring, nodes, RouterConfig(hedging=False))
+
+        async def go():
+            for _ in range(20):
+                await router.query_many(db.kmers[:64])
+        run(go())
+        served = {nid: n.metrics.n_queries for nid, n in nodes.items()}
+        assert all(v > 0 for v in served.values())
+
+
+class TestFailures:
+    def test_down_node_skipped_up_front(self, db):
+        ring, nodes = make_cluster(db, rf=2)
+        router = ClusterRouter(ring, nodes)
+        nodes[1].kill()
+        out = run(route_replay(router, db.kmers, group_size=256))
+        assert np.array_equal(out, db.counts)
+        assert nodes[1].metrics.n_queries == 0  # never consulted
+
+    def test_mid_flight_kill_retries_to_replica(self, db):
+        ring, nodes = make_cluster(db, rf=2, service_time=2e-3)
+        router = ClusterRouter(ring, nodes, RouterConfig(hedging=False))
+
+        async def go():
+            task = asyncio.ensure_future(router.query_many(db.kmers[:512]))
+            await asyncio.sleep(5e-4)
+            nodes[0].kill()
+            return await task
+
+        out = run(go())
+        assert np.array_equal(out, db.counts[:512])
+        assert router.metrics.retries >= 1
+
+    def test_all_replicas_down_raises_typed_error(self, db):
+        ring, nodes = make_cluster(db, n_nodes=2, rf=2)
+        cfg = RouterConfig(hedging=False, max_retry_rounds=2,
+                           backoff_base=1e-4)
+        router = ClusterRouter(ring, nodes, cfg)
+        nodes[0].kill()
+        nodes[1].kill()
+        with pytest.raises(RangeUnavailable) as exc:
+            run(router.query_many(db.kmers[:10]))
+        assert exc.value.n_keys == 10
+        assert set(exc.value.node_ids) == {0, 1}
+        assert router.metrics.failovers == 1
+
+    def test_restart_during_backoff_recovers(self, db):
+        ring, nodes = make_cluster(db, n_nodes=2, rf=2)
+        cfg = RouterConfig(hedging=False, max_retry_rounds=4,
+                           backoff_base=2e-3)
+        router = ClusterRouter(ring, nodes, cfg)
+        nodes[0].kill()
+        nodes[1].kill()
+
+        async def go():
+            task = asyncio.ensure_future(router.query_many(db.kmers[:64]))
+            await asyncio.sleep(1e-3)
+            nodes[0].restart()
+            return await task
+
+        out = run(go())
+        assert np.array_equal(out, db.counts[:64])
+        assert router.metrics.retries >= 1
+        assert router.metrics.failovers == 0
+
+
+class TestHedging:
+    def test_hedge_beats_straggler(self, db):
+        ring, nodes = make_cluster(db, rf=2, service_time=1e-4)
+        straggler = 0
+        nodes[straggler].degrade(200.0)  # 20 ms vs 0.1 ms healthy
+        cfg = RouterConfig(hedge_initial_delay=1e-3, hedge_warmup=10**9)
+        router = ClusterRouter(ring, nodes, cfg)
+        out = run(route_replay(router, db.kmers[:2048], group_size=256))
+        assert np.array_equal(out, db.counts[:2048])
+        assert router.metrics.hedges_fired > 0
+        assert router.metrics.hedges_won > 0
+        # Client-visible p99 must sit far below the straggler's 20 ms.
+        assert router.metrics.router.latency.quantile(0.99) < 15e-3
+
+    def test_no_hedge_when_disabled(self, db):
+        ring, nodes = make_cluster(db, rf=2, service_time=1e-4)
+        nodes[0].degrade(50.0)
+        router = ClusterRouter(ring, nodes, RouterConfig(hedging=False))
+        out = run(route_replay(router, db.kmers[:512], group_size=256))
+        assert np.array_equal(out, db.counts[:512])
+        assert router.metrics.hedges_fired == 0
+
+    def test_hedge_delay_adapts_from_subrequest_latency(self, db):
+        ring, nodes = make_cluster(db, rf=2, service_time=1e-3)
+        cfg = RouterConfig(hedge_warmup=4, hedge_multiplier=2.0,
+                           hedge_min_delay=1e-4, hedge_max_delay=1.0)
+        router = ClusterRouter(ring, nodes, cfg)
+        assert router.hedge_delay() == cfg.hedge_initial_delay
+        run(route_replay(router, db.kmers[:1024], group_size=128))
+        # After warmup the delay tracks ~2x the 1 ms node service time,
+        # not the much larger whole-batch client latency.
+        delay = router.hedge_delay()
+        assert 1e-3 < delay < 2e-2
+
+    def test_hedged_primary_down_falls_back(self, db):
+        """Primary dies mid-hedge-wait: the batch must still answer."""
+        ring, nodes = make_cluster(db, rf=2, service_time=5e-3)
+        cfg = RouterConfig(hedge_initial_delay=1e-3, hedge_warmup=10**9)
+        router = ClusterRouter(ring, nodes, cfg)
+
+        async def go():
+            task = asyncio.ensure_future(router.query_many(db.kmers[:256]))
+            await asyncio.sleep(2e-3)  # past the hedge delay
+            nodes[0].kill()
+            return await task
+
+        out = run(go())
+        assert np.array_equal(out, db.counts[:256])
+
+
+class TestMembership:
+    def test_add_remove_node(self, db):
+        ring, nodes = make_cluster(db)
+        router = ClusterRouter(ring, nodes)
+        joiner = ClusterNode(9, RangeStore.empty())
+        router.add_node(joiner)
+        with pytest.raises(ValueError):
+            router.add_node(joiner)
+        assert router.remove_node(9) is joiner
+        with pytest.raises(ValueError):
+            router.remove_node(0)  # still in the ring
+
+    def test_describe(self, db):
+        ring, nodes = make_cluster(db)
+        router = ClusterRouter(ring, nodes)
+        doc = router.describe()
+        assert doc["ring"]["rf"] == 2
+        assert not doc["rebalancing"]
+        assert set(doc["nodes"]) == {"0", "1", "2", "3"}

@@ -90,6 +90,7 @@ class TestServeMetrics:
     def test_derived_rates(self):
         m = self._loaded()
         assert m.throughput_qps == pytest.approx(50.0)
+        assert m.rejected_qps == pytest.approx(3.5)
         assert m.cache_hit_rate == pytest.approx(0.6)
         assert m.mean_batch_size == pytest.approx(8.0)
         assert m.queue_depth_max == 9
@@ -101,7 +102,21 @@ class TestServeMetrics:
         assert snap["latency_ms"]["p50"] < snap["latency_ms"]["p99"]
         assert snap["cache"]["hit_rate"] == pytest.approx(0.6)
         assert snap["queue"]["rejected"] == 7
+        assert snap["queue"]["rejected_qps"] == pytest.approx(3.5)
         json.dumps(snap)  # must be JSON-serialisable as-is
+
+    def test_rejected_qps_zero_without_elapsed(self):
+        m = ServeMetrics()
+        m.rejected = 5
+        assert m.rejected_qps == 0.0
+
+    def test_snapshot_delta_rejected_qps(self):
+        m = self._loaded()
+        m.snapshot_delta(now=10.0)
+        m.rejected += 20
+        d = m.snapshot_delta(now=14.0)
+        assert d["rejected"] == 20
+        assert d["rejected_qps"] == pytest.approx(5.0)
 
     def test_to_json_roundtrip(self, tmp_path):
         path = tmp_path / "snap.json"

@@ -87,6 +87,14 @@ class TestLookup:
         assert store.lookup(np.empty(0, dtype=np.uint64)).size == 0
         assert store.get(7) == 0
 
+    def test_empty_key_batch_early_returns(self, db):
+        shard = ShardedStore.from_counts(db, 2).shards[0]
+        out = shard.lookup(np.empty(0, dtype=np.uint64))
+        assert out.size == 0
+        assert out.dtype == np.int64
+        # Also via an untyped empty list (asarray path).
+        assert shard.lookup(np.array([], dtype=np.uint64)).size == 0
+
     def test_shard_of_scalar_and_vector_agree(self, db):
         store = ShardedStore.from_counts(db, 8)
         keys = db.kmers[:64]

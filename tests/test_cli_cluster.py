@@ -1,0 +1,55 @@
+"""Tests for the `dakc cluster-bench` verb."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.store import save_counts
+from repro.cli import build_parser, main
+from repro.core.serial import serial_count
+
+FAST = ["--queries", "1500", "--repeats", "1", "--cluster-nodes", "4",
+        "--service-time", "5e-5", "--straggler-delay", "3e-3",
+        "--chunk-keys", "512"]
+
+
+class TestClusterBench:
+    def test_dataset_replica_run(self, capsys):
+        rc = main(["cluster-bench", "--dataset", "synthetic-20",
+                   "-k", "15", "--budget", "20000", *FAST])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# overhead:" in out
+        assert "# hedging:" in out
+        assert "answers match: True" in out
+        assert "'after_rebalance': True" in out
+
+    def test_database_input_and_json(self, tmp_path, small_reads, capsys):
+        kc = serial_count(small_reads, 15)
+        db = tmp_path / "counts.npz"
+        save_counts(db, kc)
+        doc_path = tmp_path / "cluster.json"
+        rc = main(["cluster-bench", "--database", str(db),
+                   "--json", str(doc_path), *FAST])
+        assert rc == 0
+        doc = json.loads(doc_path.read_text())
+        assert doc["experiment"] == "cluster-bench"
+        assert doc["overhead"]["answers_match"]
+        assert doc["chaos"]["answers_exact"]
+        assert doc["chaos"]["failovers"] == 0
+        assert doc["config"]["rf"] == 2
+
+    def test_help_lists_verb(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        assert "cluster-bench" in capsys.readouterr().out
+
+    def test_rf_must_fit_nodes(self, capsys):
+        rc = main(["cluster-bench", "--dataset", "synthetic-20",
+                   "-k", "15", "--budget", "20000",
+                   "--cluster-nodes", "2", "--rf", "3",
+                   "--queries", "100", "--repeats", "1"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
