@@ -264,6 +264,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_cpt.add_argument("--flush", action="store_true",
                        help="flush the memtable to a run first")
 
+    p_dst = sub.add_parser(
+        "dst",
+        help="deterministic simulation testing: fuzz schedules, replay "
+             "repro bundles (repro.dst)",
+    )
+    dst_sub = p_dst.add_subparsers(dest="dst_command", required=True)
+    p_dst_run = dst_sub.add_parser(
+        "run", help="fuzz one campaign of schedules and check invariants")
+    p_dst_run.add_argument("--budget", type=int, default=200,
+                           help="schedules to run")
+    p_dst_run.add_argument("--seed", type=int, default=0,
+                           help="campaign root seed")
+    p_dst_run.add_argument("--out", default=None,
+                           help="directory for shrunk repro bundles")
+    p_dst_run.add_argument("--no-shrink", action="store_true",
+                           help="report failures without minimising them")
+    p_dst_run.add_argument("--json", default=None,
+                           help="also write the campaign report as JSON here")
+    p_dst_replay = dst_sub.add_parser(
+        "replay", help="re-run a repro bundle and verify the violation")
+    p_dst_replay.add_argument("bundle", help="path to a dst repro bundle")
+    p_dst_sweep = dst_sub.add_parser(
+        "sweep", help="one campaign per root seed")
+    p_dst_sweep.add_argument("--seeds", default="0,1,2",
+                             help="comma-separated campaign root seeds")
+    p_dst_sweep.add_argument("--budget", type=int, default=100,
+                             help="schedules per campaign")
+    p_dst_sweep.add_argument("--out", default=None,
+                             help="directory for shrunk repro bundles")
+
     p_tl = sub.add_parser("timeline", help="ASCII Gantt of a simulated run")
     p_tl.add_argument("--dataset", default="synthetic-20")
     p_tl.add_argument("-k", type=int, default=31)
@@ -466,6 +496,7 @@ def _cmd_chaos(args) -> int:
     from .bench.workloads import build_workload
     from .core.dakc import DakcConfig
     from .fault import FaultPlan, chaos_sweep, format_report
+    from .fault.chaos import derive_plan_seeds
     from .runtime.cost import CostModel
 
     drops = [float(d) for d in args.drop.split(",") if d.strip()]
@@ -475,10 +506,11 @@ def _cmd_chaos(args) -> int:
     m = resolve_machine(args.machine, args.nodes)
     cost = CostModel(m, cores_per_pe=m.cores_per_node)
     config = DakcConfig(protocol=args.protocol)
-    plans = [FaultPlan(seed=args.seed)]  # fault-free baseline first
+    plan_seeds = derive_plan_seeds(args.seed, len(drops) + 1)
+    plans = [FaultPlan(seed=plan_seeds[0])]  # fault-free baseline first
     plans += [
         FaultPlan(
-            seed=args.seed + i,
+            seed=plan_seeds[i],
             drop_prob=drop,
             duplicate_prob=args.duplicate,
             corrupt_prob=args.corrupt,
@@ -800,6 +832,45 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_dst(args) -> int:
+    from .dst import dst_run, dst_sweep, format_dst_report, load_bundle, replay_bundle
+
+    if args.dst_command == "run":
+        report = dst_run(budget=args.budget, seed=args.seed,
+                         shrink=not args.no_shrink, out_dir=args.out)
+        print(format_dst_report(report))
+        if args.json:
+            import json
+
+            with open(args.json, "w") as fh:
+                json.dump(report.to_doc(), fh, indent=2, sort_keys=True)
+            print(f"# wrote campaign report to {args.json}")
+        return 0 if report.ok else 1
+    if args.dst_command == "replay":
+        bundle = load_bundle(args.bundle)
+        trajectory = replay_bundle(bundle)
+        reproduced = (not bundle.invariant
+                      or any(v.invariant == bundle.invariant
+                             for v in trajectory.violations))
+        same_digest = (not bundle.digest or trajectory.digest == bundle.digest)
+        print(f"# schedule: {bundle.schedule.describe()}")
+        print(f"# digest: {trajectory.digest}"
+              + ("" if same_digest else f" (bundle recorded {bundle.digest})"))
+        for v in trajectory.violations:
+            print(f"[{v.layer}/{v.invariant}] {v.detail}")
+        if not trajectory.violations:
+            print("no violations: the recorded failure no longer reproduces")
+        print(f"verdict: {'REPRODUCED' if reproduced and same_digest else 'CHANGED'}")
+        return 0 if reproduced and same_digest else 1
+    # sweep
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    reports = dst_sweep(seeds, budget=args.budget, out_dir=args.out)
+    for report in reports:
+        print(format_dst_report(report))
+        print()
+    return 0 if all(r.ok for r in reports) else 1
+
+
 _COMMANDS = {
     "count": _cmd_count,
     "datasets": _cmd_datasets,
@@ -811,6 +882,7 @@ _COMMANDS = {
     "cluster-bench": _cmd_cluster_bench,
     "ingest": _cmd_ingest,
     "compact": _cmd_compact,
+    "dst": _cmd_dst,
     "analyze": _cmd_analyze,
     "compare": _cmd_compare,
     "timeline": _cmd_timeline,

@@ -30,6 +30,7 @@ from .rebalance import (
     rebalance,
 )
 from .ring import HashRing, RoutingTable, interval_mask
+from .script import MembershipEvent, run_membership_script, sample_script
 from .router import ClusterRouter, RangeUnavailable, RouterConfig
 
 __all__ = [
@@ -55,4 +56,7 @@ __all__ = [
     "route_replay",
     "expected_counts",
     "run_cluster_bench",
+    "MembershipEvent",
+    "sample_script",
+    "run_membership_script",
 ]

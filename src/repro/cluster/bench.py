@@ -29,6 +29,7 @@ import time
 import numpy as np
 
 from ..core.result import KmerCounts
+from ..core.seeds import spawn_seeds
 from ..serve.engine import EngineConfig, QueryEngine, replay
 from ..serve.shards import ShardedStore
 from ..serve.workload import zipf_workload
@@ -261,7 +262,11 @@ def run_cluster_bench(
     repeats: int = 3,
 ) -> dict:
     """Run all three cluster-bench sections; returns the JSON document."""
-    stream = zipf_workload(counts, n_queries, s=zipf_s, seed=seed,
+    # One root seed, independent child streams per section: the workload
+    # draw and the three ring constructions must not alias (spawn(), not
+    # ``seed + i`` arithmetic — see repro.core.seeds).
+    workload_seed, overhead_seed, hedging_seed, chaos_seed = spawn_seeds(seed, 4)
+    stream = zipf_workload(counts, n_queries, s=zipf_s, seed=workload_seed,
                            miss_fraction=miss_fraction)
     doc = {
         "experiment": "cluster-bench",
@@ -276,14 +281,14 @@ def run_cluster_bench(
     }
     doc["overhead"] = _bench_overhead(
         counts, stream.keys, n_nodes=n_nodes, rf=rf, vnodes=vnodes,
-        seed=seed, group_size=group_size, concurrency=concurrency,
+        seed=overhead_seed, group_size=group_size, concurrency=concurrency,
         repeats=repeats)
     doc["hedging"] = _bench_hedging(
         counts, stream.keys, n_nodes=n_nodes, rf=rf, vnodes=vnodes,
-        seed=seed, group_size=group_size, concurrency=concurrency,
+        seed=hedging_seed, group_size=group_size, concurrency=concurrency,
         service_time=service_time, straggler_delay=straggler_delay)
     doc["chaos"] = _bench_chaos(
         counts, stream.keys, n_nodes=n_nodes, rf=rf, vnodes=vnodes,
-        seed=seed, group_size=group_size, service_time=service_time,
+        seed=chaos_seed, group_size=group_size, service_time=service_time,
         chunk_keys=chunk_keys)
     return doc

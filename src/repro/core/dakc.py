@@ -206,6 +206,7 @@ def dakc_count(
     config: DakcConfig | None = None,
     *,
     conveyor_factory=None,
+    runtime_factory=None,
     interphase_hook=None,
 ) -> tuple[KmerCounts, RunStats]:
     """Count k-mers with DAKC on the simulated machine.
@@ -227,6 +228,11 @@ def dakc_count(
         with the same positional/keyword arguments.  Used by
         :mod:`repro.fault` to substitute fault-injecting or reliable
         conveyor engines.
+    runtime_factory:
+        Optional replacement for the stock :class:`ActorRuntime`
+        (exact mode only) — called as ``factory(cost, stats,
+        conveyor)``.  Used by :mod:`repro.dst` to install step-order
+        and mailbox-order scheduling hooks.
     interphase_hook:
         Optional ``hook(conveyor, stats)`` invoked at the inter-phase
         barrier, after Phase 1 settles and *before* the delivery
@@ -264,7 +270,8 @@ def dakc_count(
             _DakcActor(pe, per_pe_reads[pe], k, aggs[pe], cost, stats, config.canonical)
             for pe in range(n_pes)
         ]
-        runtime = ActorRuntime(cost, stats, conveyor)
+        make_runtime = runtime_factory if runtime_factory is not None else ActorRuntime
+        runtime = make_runtime(cost, stats, conveyor)
         runtime.run_until_quiescent(actors)  # includes sync 2
     else:
         _run_phase1_fast(per_pe_reads, k, cost, stats, conveyor, config)

@@ -1,0 +1,54 @@
+"""repro.dst — deterministic simulation testing for the whole stack.
+
+FoundationDB-style testing discipline applied to the reproduction:
+every source of nondeterminism in a test run — RNG streams, conveyor
+drain order, actor mailbox and step order, fault plans, LSM crash
+points, cluster membership timing — is owned by one seeded
+:class:`Simulation`, making ``seed -> trajectory`` a pure function.
+On top of that:
+
+* :mod:`~repro.dst.schedule` — the :class:`Schedule` (one point in the
+  nondeterminism space) and the :class:`ScheduleFuzzer` that sweeps
+  drain/mailbox permutations crossed with fault plans, crash-point
+  products and membership scripts;
+* :mod:`~repro.dst.invariants` — a pluggable registry of checkers
+  (serial-oracle multiset equality, packet conservation, monotone
+  acks, WAL-recovery exactness, cache staleness, ring ownership = RF);
+* :mod:`~repro.dst.sim` — the :class:`Simulation` that runs one
+  schedule through the runtime, LSM and cluster layers and digests the
+  logical outcome;
+* :mod:`~repro.dst.shrink` — greedy delta debugging that minimises a
+  failing ``(reads, config, schedule)`` triple;
+* :mod:`~repro.dst.bundle` — replayable JSON repro bundles
+  (``dakc dst replay <bundle>``);
+* :mod:`~repro.dst.runner` — the fuzz campaign driver behind
+  ``dakc dst run | sweep``.
+"""
+
+from .bundle import ReproBundle, load_bundle, replay_bundle, save_bundle
+from .invariants import Invariant, InvariantRegistry, Violation, default_registry
+from .runner import DstReport, dst_run, dst_sweep, format_dst_report
+from .schedule import Schedule, ScheduleFuzzer
+from .shrink import shrink_failure
+from .sim import SimConfig, Simulation, Trajectory
+
+__all__ = [
+    "Schedule",
+    "ScheduleFuzzer",
+    "Invariant",
+    "InvariantRegistry",
+    "Violation",
+    "default_registry",
+    "SimConfig",
+    "Simulation",
+    "Trajectory",
+    "shrink_failure",
+    "ReproBundle",
+    "save_bundle",
+    "load_bundle",
+    "replay_bundle",
+    "DstReport",
+    "dst_run",
+    "dst_sweep",
+    "format_dst_report",
+]

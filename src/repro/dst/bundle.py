@@ -1,0 +1,96 @@
+"""Replayable repro bundles: a failure you can attach to a bug report.
+
+A bundle is one JSON file holding everything needed to retrace a
+failing trajectory on any machine: the (shrunk) schedule, the sim
+config, the exact read set, the violations observed, and the digest
+the replay must reproduce.  ``dakc dst replay bundle.json`` reruns it
+and reports whether the violation still fires — byte-identical digest
+included — which is the regression test a fix must pass.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .invariants import InvariantRegistry, Violation
+from .schedule import Schedule
+from .sim import SimConfig, Simulation, Trajectory
+
+__all__ = ["ReproBundle", "save_bundle", "load_bundle", "replay_bundle"]
+
+BUNDLE_FORMAT = "dakc-dst-bundle-v1"
+
+
+@dataclass(slots=True)
+class ReproBundle:
+    """One failing trajectory, fully self-contained."""
+
+    schedule: Schedule
+    config: SimConfig
+    reads: list[np.ndarray]
+    violations: list[Violation] = field(default_factory=list)
+    digest: str = ""
+    invariant: str = ""
+
+    def to_doc(self) -> dict:
+        return {
+            "format": BUNDLE_FORMAT,
+            "invariant": self.invariant,
+            "digest": self.digest,
+            "schedule": self.schedule.to_doc(),
+            "config": self.config.to_doc(),
+            "violations": [v.to_doc() for v in self.violations],
+            "reads": [[int(b) for b in read] for read in self.reads],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ReproBundle":
+        if doc.get("format") != BUNDLE_FORMAT:
+            raise ValueError(
+                f"not a DST repro bundle (format={doc.get('format')!r})")
+        return cls(
+            schedule=Schedule.from_doc(doc["schedule"]),
+            config=SimConfig.from_doc(doc["config"]),
+            reads=[np.asarray(read, dtype=np.uint8) for read in doc["reads"]],
+            violations=[Violation.from_doc(v)
+                        for v in doc.get("violations", [])],
+            digest=str(doc.get("digest", "")),
+            invariant=str(doc.get("invariant", "")),
+        )
+
+    @classmethod
+    def from_failure(cls, config: SimConfig, schedule: Schedule,
+                     reads: list[np.ndarray],
+                     trajectory: Trajectory) -> "ReproBundle":
+        return cls(
+            schedule=schedule,
+            config=config,
+            reads=[np.asarray(r, dtype=np.uint8) for r in reads],
+            violations=list(trajectory.violations),
+            digest=trajectory.digest,
+            invariant=(trajectory.violations[0].invariant
+                       if trajectory.violations else ""),
+        )
+
+
+def save_bundle(bundle: ReproBundle, path: str | Path) -> Path:
+    """Write a bundle as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(bundle.to_doc(), indent=2, sort_keys=True))
+    return path
+
+
+def load_bundle(path: str | Path) -> ReproBundle:
+    return ReproBundle.from_doc(json.loads(Path(path).read_text()))
+
+
+def replay_bundle(bundle: ReproBundle, *,
+                  registry: InvariantRegistry | None = None) -> Trajectory:
+    """Rerun a bundle's trajectory (same config, schedule and reads)."""
+    sim = Simulation(bundle.config, registry=registry)
+    return sim.run(bundle.schedule, reads=bundle.reads)

@@ -1,0 +1,181 @@
+"""Pluggable invariant checkers over simulated trajectories.
+
+An :class:`Invariant` is a named predicate over one layer's observed
+facts.  The :class:`Simulation` builds a plain-dict context per layer
+(``runtime`` / ``lsm`` / ``cluster``) and asks the registry to check
+it; each failed check becomes a :class:`Violation` carried on the
+trajectory.  Keeping checkers data-driven (dict in, detail-string out)
+means a test can register a bespoke invariant without touching the
+simulator.
+
+The default catalogue is the contract the stack already claims in
+prose, made executable:
+
+``serial-multiset``
+    Whenever the delivery contract promises exactness (reliability
+    layer on, or a fault-free wire), the counted multiset equals the
+    serial oracle bit-for-bit.
+``packet-conservation``
+    Conveyor ledger balance: with reliable delivery (or no faults)
+    every injected element is delivered exactly once; on a bare faulty
+    wire ``delivered == injected - dropped + duplicated``.
+``monotone-acks``
+    The reliability layer's cumulative-ack windows never move
+    backwards.
+``wal-recovery``
+    Reopening a (possibly crashed) LSM store yields exactly the
+    acknowledged batches — no lost ack, no resurrected torn write.
+``cache-no-stale``
+    A serving cache subscribed to the store never returns a
+    pre-ingest count.
+``ring-rf``
+    Every routing-table row names exactly RF distinct live-ring
+    members.
+``cluster-exact``
+    Every query answered during membership churn matches the serial
+    oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Violation", "Invariant", "InvariantRegistry", "default_registry"]
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One invariant breach observed on a trajectory."""
+
+    invariant: str
+    layer: str
+    detail: str
+
+    def to_doc(self) -> dict:
+        return {"invariant": self.invariant, "layer": self.layer,
+                "detail": self.detail}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "Violation":
+        return cls(invariant=str(doc["invariant"]), layer=str(doc["layer"]),
+                   detail=str(doc["detail"]))
+
+
+@dataclass(frozen=True, slots=True)
+class Invariant:
+    """A named checker over one layer's observation dict.
+
+    ``check(ctx)`` returns ``None`` when the invariant holds, or a
+    human-readable detail string describing the breach.
+    """
+
+    name: str
+    layer: str
+    check: Callable[[dict], str | None]
+
+
+@dataclass(slots=True)
+class InvariantRegistry:
+    """Checkers grouped by layer; extensible per-test."""
+
+    _invariants: list[Invariant] = field(default_factory=list)
+
+    def register(self, invariant: Invariant) -> None:
+        if any(i.name == invariant.name for i in self._invariants):
+            raise ValueError(f"invariant {invariant.name!r} already registered")
+        self._invariants.append(invariant)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(i.name for i in self._invariants)
+
+    def check(self, layer: str, ctx: dict) -> list[Violation]:
+        """Run every checker registered for *layer* over *ctx*."""
+        out: list[Violation] = []
+        for inv in self._invariants:
+            if inv.layer != layer:
+                continue
+            detail = inv.check(ctx)
+            if detail is not None:
+                out.append(Violation(inv.name, layer, detail))
+        return out
+
+
+# -- the default catalogue --------------------------------------------
+
+
+def _serial_multiset(ctx: dict) -> str | None:
+    if ctx.get("error") is not None or not ctx.get("expects_exact", False):
+        return None
+    if ctx.get("counts_match", True):
+        return None
+    return ("counted multiset != serial oracle "
+            f"({ctx.get('n_distinct', '?')} distinct counted vs "
+            f"{ctx.get('oracle_distinct', '?')} expected)")
+
+
+def _packet_conservation(ctx: dict) -> str | None:
+    if ctx.get("error") is not None:
+        return None  # the run already failed loudly; no ledger to balance
+    injected = ctx.get("injected", 0)
+    delivered = ctx.get("delivered", 0)
+    if ctx.get("protect", True) or not ctx.get("faulty", False):
+        expected = injected
+        label = "reliable/clean wire"
+    else:
+        expected = injected - ctx.get("dropped", 0) + ctx.get("duplicated", 0)
+        label = "bare faulty wire"
+    if delivered == expected:
+        return None
+    return (f"{label}: delivered {delivered} elements, expected {expected} "
+            f"(injected {injected}, dropped {ctx.get('dropped', 0)}, "
+            f"duplicated {ctx.get('duplicated', 0)})")
+
+
+def _monotone_acks(ctx: dict) -> str | None:
+    regressions = ctx.get("ack_regressions", 0)
+    if not regressions:
+        return None
+    return f"cumulative-ack window moved backwards {regressions} time(s)"
+
+
+def _wal_recovery(ctx: dict) -> str | None:
+    if ctx.get("recovered_match", True):
+        return None
+    return ctx.get("detail") or "reopened store != acknowledged-batch oracle"
+
+
+def _cache_no_stale(ctx: dict) -> str | None:
+    stale = ctx.get("stale_serves", 0)
+    if not stale:
+        return None
+    return f"cache served {stale} pre-ingest count(s) after updates"
+
+
+def _ring_rf(ctx: dict) -> str | None:
+    if ctx.get("rf_ok", True):
+        return None
+    return ctx.get("rf_detail") or "routing table row without RF distinct owners"
+
+
+def _cluster_exact(ctx: dict) -> str | None:
+    if ctx.get("error") is not None:
+        return f"membership script failed: {ctx['error']}"
+    if ctx.get("answers_match", True):
+        return None
+    return (f"{ctx.get('mismatches', '?')} of {ctx.get('n_queries', '?')} "
+            "answers differ from the serial oracle during churn")
+
+
+def default_registry() -> InvariantRegistry:
+    """The stock invariant catalogue (one registry per simulation)."""
+    registry = InvariantRegistry()
+    registry.register(Invariant("serial-multiset", "runtime", _serial_multiset))
+    registry.register(Invariant("packet-conservation", "runtime",
+                                _packet_conservation))
+    registry.register(Invariant("monotone-acks", "runtime", _monotone_acks))
+    registry.register(Invariant("wal-recovery", "lsm", _wal_recovery))
+    registry.register(Invariant("cache-no-stale", "lsm", _cache_no_stale))
+    registry.register(Invariant("ring-rf", "cluster", _ring_rf))
+    registry.register(Invariant("cluster-exact", "cluster", _cluster_exact))
+    return registry

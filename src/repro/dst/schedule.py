@@ -1,0 +1,191 @@
+"""Schedules: one point each in the stack's nondeterminism space.
+
+A :class:`Schedule` pins down everything a production run would leave
+to chance — which faults fire, in what order messages pop off the
+drain heap, how actor mailboxes interleave, where the LSM store
+crashes, when cluster nodes churn.  Replaying the same schedule over
+the same input is guaranteed to retrace the same trajectory, which is
+what makes a fuzz-found failure a unit test instead of a war story.
+
+The :class:`ScheduleFuzzer` sweeps that space deterministically: the
+``i``-th schedule of a campaign is a pure function of ``(root seed,
+i)`` via spawned child streams (:mod:`repro.core.seeds`), so two
+machines running ``dakc dst run --seed 0`` explore identical
+schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..cluster.script import MembershipEvent, sample_script, script_from_doc, script_to_doc
+from ..core.seeds import spawn_seeds
+from ..fault.models import FaultPlan
+from ..lsm.crash import CRASH_POINTS
+
+__all__ = ["Schedule", "ScheduleFuzzer"]
+
+
+@dataclass(frozen=True, slots=True)
+class Schedule:
+    """Every knob one simulated trajectory depends on."""
+
+    #: Root seed: input data, query streams and ring placement derive
+    #: from it through spawned child streams.
+    seed: int = 0
+    #: DAKC execution mode ("fast" vectorised / "exact" actor loop).
+    mode: str = "fast"
+    #: Conveyors virtual topology (1D / 2D / 3D).
+    protocol: str = "1D"
+    #: Run the reliability layer over the (possibly faulty) wire.
+    protect: bool = True
+    #: Permutation stream for the conveyor drain heap (None = arrival
+    #: order, the production behaviour).
+    drain_seed: int | None = None
+    #: Permutation streams for the actor runtime (exact mode only).
+    mailbox_seed: int | None = None
+    step_seed: int | None = None
+    #: Wire/straggler fault plan (None = healthy fabric).
+    plan: FaultPlan | None = None
+    #: LSM crash point to arm, and on which traversal it fires.
+    crash_point: str | None = None
+    crash_nth: int = 1
+    #: Scripted cluster membership churn.
+    membership: tuple[MembershipEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("fast", "exact"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.crash_point is not None and self.crash_point not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {self.crash_point!r}")
+        if self.crash_nth < 1:
+            raise ValueError("crash_nth must be >= 1")
+
+    # -- serialisation -------------------------------------------------
+
+    def to_doc(self) -> dict:
+        """JSON-friendly encoding (repro bundles, digests)."""
+        return {
+            "seed": self.seed,
+            "mode": self.mode,
+            "protocol": self.protocol,
+            "protect": self.protect,
+            "drain_seed": self.drain_seed,
+            "mailbox_seed": self.mailbox_seed,
+            "step_seed": self.step_seed,
+            "plan": None if self.plan is None else self.plan.to_doc(),
+            "crash_point": self.crash_point,
+            "crash_nth": self.crash_nth,
+            "membership": script_to_doc(self.membership),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "Schedule":
+        """Rebuild a schedule from :meth:`to_doc` output."""
+        plan = doc.get("plan")
+        return cls(
+            seed=int(doc.get("seed", 0)),
+            mode=str(doc.get("mode", "fast")),
+            protocol=str(doc.get("protocol", "1D")),
+            protect=bool(doc.get("protect", True)),
+            drain_seed=doc.get("drain_seed"),
+            mailbox_seed=doc.get("mailbox_seed"),
+            step_seed=doc.get("step_seed"),
+            plan=None if plan is None else FaultPlan.from_doc(plan),
+            crash_point=doc.get("crash_point"),
+            crash_nth=int(doc.get("crash_nth", 1)),
+            membership=script_from_doc(doc.get("membership", [])),
+        )
+
+    def simplified(self, **overrides) -> "Schedule":
+        """A copy with fields nulled/overridden (shrinking helper)."""
+        return replace(self, **overrides)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}", self.mode, self.protocol]
+        if not self.protect:
+            parts.append("bare")
+        if self.drain_seed is not None:
+            parts.append("drain-permuted")
+        if self.mailbox_seed is not None or self.step_seed is not None:
+            parts.append("actor-permuted")
+        if self.plan is not None and not self.plan.benign:
+            parts.append(self.plan.describe())
+        if self.crash_point is not None:
+            parts.append(f"crash@{self.crash_point}#{self.crash_nth}")
+        if self.membership:
+            parts.append("churn=" + ",".join(
+                f"{e.kind}:{e.node}@{e.at}" for e in self.membership))
+        return " ".join(parts)
+
+
+@dataclass(slots=True)
+class ScheduleFuzzer:
+    """Deterministic generator over the schedule space.
+
+    ``schedules(n)`` yields the first *n* schedules of the campaign
+    rooted at ``seed``; schedule ``i`` is drawn from the ``i``-th
+    spawned child stream, so any prefix is stable under a larger
+    budget and two campaigns with different roots never share a
+    stream.  Schedule 0 is always the fault-free production ordering —
+    a canary: if *it* violates an invariant the harness itself is
+    broken.
+    """
+
+    seed: int = 0
+    n_pes: int = 4
+    n_nodes: int = 4
+    rf: int = 2
+    n_batches: int = 4
+    modes: tuple[str, ...] = ("fast", "exact")
+    protocols: tuple[str, ...] = ("1D", "2D")
+    crash_points: tuple[str, ...] = field(default=CRASH_POINTS)
+
+    def schedule(self, index: int) -> Schedule:
+        """The ``index``-th schedule of this campaign (pure function)."""
+        child = spawn_seeds(self.seed, index + 1)[index]
+        if index == 0:
+            return Schedule(seed=child)
+        rng = np.random.default_rng(child)
+        mode = str(rng.choice(self.modes))
+        protocol = str(rng.choice(self.protocols))
+        protect = bool(rng.random() < 0.7)
+        plan = None
+        if rng.random() < 0.6:
+            plan = FaultPlan.sample(rng, n_pes=self.n_pes)
+            if plan.benign:
+                plan = None
+        drain_seed = int(rng.integers(1 << 63)) if rng.random() < 0.6 else None
+        mailbox_seed = step_seed = None
+        if mode == "exact":
+            if rng.random() < 0.6:
+                mailbox_seed = int(rng.integers(1 << 63))
+            if rng.random() < 0.6:
+                step_seed = int(rng.integers(1 << 63))
+        crash_point = None
+        crash_nth = 1
+        if rng.random() < 0.5:
+            crash_point = str(rng.choice(self.crash_points))
+            crash_nth = int(rng.integers(1, 3))
+        membership = sample_script(rng, n_nodes=self.n_nodes, rf=self.rf,
+                                   n_batches=self.n_batches)
+        return Schedule(
+            seed=child,
+            mode=mode,
+            protocol=protocol,
+            protect=protect,
+            drain_seed=drain_seed,
+            mailbox_seed=mailbox_seed,
+            step_seed=step_seed,
+            plan=plan,
+            crash_point=crash_point,
+            crash_nth=crash_nth,
+            membership=membership,
+        )
+
+    def schedules(self, n: int):
+        """Yield the first *n* schedules of the campaign."""
+        for i in range(n):
+            yield self.schedule(i)

@@ -1,0 +1,449 @@
+"""The seeded Simulation: one schedule in, one trajectory out.
+
+Runs a schedule through the three stateful layers of the stack —
+
+* **runtime**: ``dakc_count`` on the simulated machine under the
+  schedule's fault plan, wire ordering and actor interleaving;
+* **lsm**: durable ingest of the same reads through an
+  :class:`~repro.lsm.store.LsmStore` with the schedule's crash point
+  armed, then a recovery reopen;
+* **cluster**: the counted database served through a replicated
+  router while the schedule's membership script churns nodes —
+
+and checks the invariant registry against what each layer observed.
+Everything a layer does is a pure function of ``(reads, SimConfig,
+Schedule)``: RNG streams spawn from the schedule seed, wall-clock
+features (router hedging) are disabled, and the trajectory digest
+covers only logical outcomes (no timestamps, no paths).  Running the
+same schedule twice must produce byte-identical digests — the
+determinism contract ``dakc dst run`` verifies before trusting a
+campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..cluster.router import RouterConfig
+from ..cluster.script import run_membership_script
+from ..core.dakc import DakcConfig, DeliveryIntegrityError, dakc_count
+from ..core.seeds import spawn_seeds
+from ..core.serial import serial_count
+from ..fault.injector import FaultyConveyor
+from ..fault.reliability import ReliabilityError, ReliableConveyor
+from ..lsm.crash import UNACKED_POINTS, CrashPoints, SimulatedCrash
+from ..lsm.store import LsmConfig, LsmStore
+from ..runtime.actor import ActorRuntime
+from ..runtime.conveyors import Conveyor
+from ..runtime.cost import CostModel
+from ..runtime.machine import laptop
+from ..serve.cache import HotKeyCache
+from .invariants import InvariantRegistry, Violation, default_registry
+from .schedule import Schedule
+
+__all__ = ["SimConfig", "Trajectory", "Simulation"]
+
+
+@dataclass(frozen=True, slots=True)
+class SimConfig:
+    """Workload and topology knobs of the simulated universe.
+
+    Deliberately tiny: a schedule must run in tens of milliseconds so
+    a 200-schedule budget finishes in CI, and small state spaces reach
+    their corner cases (memtable flushes, compactions, relay traffic)
+    with far fewer operations.
+    """
+
+    k: int = 9
+    n_reads: int = 24
+    read_len: int = 40
+    # runtime layer
+    nodes: int = 2
+    cores_per_node: int = 2
+    max_rounds: int = 8  # reliability retransmission budget
+    # lsm layer
+    n_batches: int = 4
+    memtable_bytes: int = 2048  # tiny: forces flushes (and crash windows)
+    max_runs: int = 2           # tiny: forces compactions
+    cache_capacity: int = 16
+    # cluster layer
+    n_nodes: int = 4
+    rf: int = 2
+    vnodes: int = 8
+    n_queries: int = 192
+    group_size: int = 48
+    miss_queries: int = 16
+
+    @property
+    def n_pes(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    def to_doc(self) -> dict:
+        return {
+            "k": self.k, "n_reads": self.n_reads, "read_len": self.read_len,
+            "nodes": self.nodes, "cores_per_node": self.cores_per_node,
+            "max_rounds": self.max_rounds, "n_batches": self.n_batches,
+            "memtable_bytes": self.memtable_bytes, "max_runs": self.max_runs,
+            "cache_capacity": self.cache_capacity, "n_nodes": self.n_nodes,
+            "rf": self.rf, "vnodes": self.vnodes,
+            "n_queries": self.n_queries, "group_size": self.group_size,
+            "miss_queries": self.miss_queries,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "SimConfig":
+        return cls(**{k: int(v) for k, v in doc.items()})
+
+
+@dataclass(slots=True)
+class Trajectory:
+    """What one schedule did, reduced to its logical outcome."""
+
+    schedule: Schedule
+    violations: list[Violation]
+    events: dict
+    digest: str
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_doc(self) -> dict:
+        return {
+            "schedule": self.schedule.to_doc(),
+            "violations": [v.to_doc() for v in self.violations],
+            "events": self.events,
+            "digest": self.digest,
+        }
+
+
+def _digest(schedule: Schedule, events: dict) -> str:
+    doc = {"schedule": schedule.to_doc(), "events": events}
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _counts_fingerprint(counts) -> str:
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(counts.kmers).tobytes())
+    h.update(np.ascontiguousarray(counts.counts).tobytes())
+    return h.hexdigest()[:16]
+
+
+class _AckTracingConveyor(ReliableConveyor):
+    """Reliable conveyor recording cumulative-ack window regressions.
+
+    The monotone-acks invariant: a flow's dedup-window base may only
+    advance.  Checked at the delivery point — the only place the base
+    moves — so a regression is caught the moment it happens.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.ack_regressions = 0
+        self._high_base: dict[tuple[int, int], int] = {}
+
+    def _deliver(self, pe, arrival, group) -> None:
+        super()._deliver(pe, arrival, group)
+        for flow, window in self._windows.items():
+            high = self._high_base.get(flow, 0)
+            if window.base < high:
+                self.ack_regressions += 1
+            else:
+                self._high_base[flow] = window.base
+
+
+class Simulation:
+    """Deterministic ``(schedule, reads) -> trajectory`` machine."""
+
+    def __init__(self, config: SimConfig | None = None,
+                 registry: InvariantRegistry | None = None) -> None:
+        self.config = config if config is not None else SimConfig()
+        self.registry = registry if registry is not None else default_registry()
+
+    # -- inputs --------------------------------------------------------
+
+    def make_reads(self, seed: int) -> list[np.ndarray]:
+        """The default read set for a schedule rooted at *seed*."""
+        data_seed = spawn_seeds(seed, 1)[0]
+        rng = np.random.default_rng(data_seed)
+        return [
+            rng.integers(0, 4, size=self.config.read_len).astype(np.uint8)
+            for _ in range(self.config.n_reads)
+        ]
+
+    # -- layers --------------------------------------------------------
+
+    def _run_runtime(self, schedule: Schedule, reads: list[np.ndarray],
+                     reference) -> tuple[dict, dict]:
+        cfg = self.config
+        cost = CostModel(laptop(nodes=cfg.nodes, cores=cfg.cores_per_node))
+        dakc_cfg = DakcConfig(protocol=schedule.protocol, mode=schedule.mode,
+                              verify_delivery=False)
+        plan = schedule.plan
+        faulty = plan is not None and not plan.benign
+        holder: dict[str, Conveyor] = {}
+
+        def conveyor_factory(*args, **kwargs):
+            if faulty and schedule.protect:
+                conv = _AckTracingConveyor(*args, plan=plan,
+                                           max_rounds=cfg.max_rounds, **kwargs)
+            elif faulty:
+                conv = FaultyConveyor(*args, plan=plan, **kwargs)
+            else:
+                conv = Conveyor(*args, **kwargs)
+            if schedule.drain_seed is not None:
+                hook_rng = np.random.default_rng(schedule.drain_seed)
+                conv.order_hook = (
+                    lambda arrival, seq, hop: float(hook_rng.random()))
+            holder["conveyor"] = conv
+            return conv
+
+        runtime_factory = None
+        if schedule.mode == "exact" and (schedule.step_seed is not None
+                                         or schedule.mailbox_seed is not None):
+            step_rng = np.random.default_rng(schedule.step_seed or 0)
+            box_rng = np.random.default_rng(schedule.mailbox_seed or 0)
+            step_order = None
+            if schedule.step_seed is not None:
+                def step_order(round_no, n_pes):
+                    return [int(p) for p in step_rng.permutation(n_pes)]
+            mailbox_order = None
+            if schedule.mailbox_seed is not None:
+                def mailbox_order(pe, pending):
+                    order = box_rng.permutation(len(pending))
+                    return [pending[i] for i in order]
+
+            def runtime_factory(cost, stats, conveyor):
+                return ActorRuntime(cost, stats, conveyor,
+                                    step_order=step_order,
+                                    mailbox_order=mailbox_order)
+
+        error = None
+        counts = None
+        sim_time = None
+        try:
+            counts, stats = dakc_count(
+                reads, cfg.k, cost, dakc_cfg,
+                conveyor_factory=conveyor_factory,
+                runtime_factory=runtime_factory,
+            )
+            sim_time = stats.sim_time
+        except (DeliveryIntegrityError, ReliabilityError) as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            cost.set_dilation(None)
+
+        conv = holder.get("conveyor")
+        delivered = (sum(conv.delivered_elements(pe)
+                         for pe in range(cost.n_pes))
+                     if conv is not None else 0)
+        fs = getattr(conv, "fault_stats", None)
+        ctx = {
+            "error": error,
+            "expects_exact": schedule.protect or not faulty,
+            "counts_match": None if counts is None else counts == reference,
+            "n_distinct": None if counts is None else int(counts.n_distinct),
+            "oracle_distinct": int(reference.n_distinct),
+            "injected": conv.injected_elements if conv is not None else 0,
+            "delivered": delivered,
+            "dropped": fs.dropped_elements if fs is not None else 0,
+            "duplicated": fs.duplicated_elements if fs is not None else 0,
+            "protect": schedule.protect,
+            "faulty": faulty,
+            "ack_regressions": getattr(conv, "ack_regressions", 0),
+        }
+        events = {
+            "mode": schedule.mode,
+            "protocol": schedule.protocol,
+            "error": error,
+            "counts": None if counts is None else _counts_fingerprint(counts),
+            "sim_time": sim_time,
+            "injected": ctx["injected"],
+            "delivered": ctx["delivered"],
+            "dropped": ctx["dropped"],
+            "duplicated": ctx["duplicated"],
+            "checksum_failures": getattr(conv, "checksum_failures", 0),
+        }
+        return ctx, events
+
+    def _run_lsm(self, schedule: Schedule, reads: list[np.ndarray],
+                 reference, workdir: str | Path) -> tuple[dict, dict]:
+        cfg = self.config
+        lsm_cfg = LsmConfig(memtable_bytes=cfg.memtable_bytes,
+                            max_runs=cfg.max_runs, fan_in=cfg.max_runs)
+        crash = CrashPoints()
+        if schedule.crash_point is not None:
+            crash.arm(schedule.crash_point, nth=schedule.crash_nth)
+        store_dir = Path(workdir) / "lsm"
+        store = LsmStore(store_dir, cfg.k, config=lsm_cfg, crash=crash)
+        cache = HotKeyCache(cfg.cache_capacity)
+        store.subscribe(cache.invalidate_many)
+
+        probe_rng = np.random.default_rng(spawn_seeds(schedule.seed, 2)[1])
+        n_probe = min(8, int(reference.kmers.size))
+        probe_keys = (probe_rng.choice(reference.kmers, size=n_probe,
+                                       replace=False)
+                      if n_probe else np.empty(0, dtype=np.uint64))
+        batches = [reads[i::cfg.n_batches] for i in range(cfg.n_batches)]
+        batches = [b for b in batches if b]
+
+        acked: list[np.ndarray] = []
+        crashed_at = None
+        stale_serves = 0
+        for batch in batches:
+            try:
+                store.ingest(batch)
+            except SimulatedCrash as exc:
+                point = str(exc)
+                crashed_at = point
+                # The WAL append halves fire *before* the record is
+                # durable — a crash there loses the batch by contract.
+                # Everywhere else the batch is already on disk.
+                if point not in UNACKED_POINTS:
+                    acked.extend(batch)
+                break
+            acked.extend(batch)
+            # Serve a few hot keys through the subscribed cache: any
+            # hit must reflect every ingest so far.
+            for key in probe_keys:
+                truth = int(store.get(np.asarray([key], dtype=np.uint64))[0])
+                hit = cache.get(int(key))
+                if hit is not None and hit != truth:
+                    stale_serves += 1
+                cache.offer(int(key), truth)
+
+        if crashed_at is None:
+            store.close()  # clean shutdown (memtable survives via WAL)
+        else:
+            store.wal.close()  # abandon the "process"; release the handle
+
+        recovered = LsmStore(store_dir, config=lsm_cfg)
+        snapshot = recovered.snapshot()
+        recovered.close()
+        if acked:
+            oracle = serial_count(acked, cfg.k)
+            match = snapshot == oracle
+            detail = (f"recovered {int(snapshot.n_distinct)} distinct vs "
+                      f"{int(oracle.n_distinct)} acknowledged"
+                      if not match else None)
+        else:
+            match = int(snapshot.n_distinct) == 0
+            detail = (None if match else
+                      f"empty ack set but store holds "
+                      f"{int(snapshot.n_distinct)} distinct keys")
+
+        ctx = {"recovered_match": match, "detail": detail,
+               "stale_serves": stale_serves}
+        events = {
+            "crash_point": schedule.crash_point,
+            "crash_nth": schedule.crash_nth,
+            "fired": list(crash.fired),
+            "hit_counts": dict(sorted(crash.hit_counts.items())),
+            "acked_reads": len(acked),
+            "recovered": _counts_fingerprint(snapshot),
+            "recovered_match": match,
+            "stale_serves": stale_serves,
+        }
+        return ctx, events
+
+    def _run_cluster(self, schedule: Schedule, reference) -> tuple[dict, dict]:
+        cfg = self.config
+        _, query_seed, ring_seed = spawn_seeds(schedule.seed, 3)
+        rng = np.random.default_rng(query_seed)
+        n_hits = max(0, cfg.n_queries - cfg.miss_queries)
+        keys = rng.choice(reference.kmers, size=n_hits)
+        misses = rng.integers(0, 1 << 63, size=cfg.miss_queries,
+                              dtype=np.uint64)
+        keys = np.concatenate([keys.astype(np.uint64), misses])
+        rng.shuffle(keys)
+
+        error = None
+        answers = router = None
+        try:
+            answers, router = run_membership_script(
+                reference, keys, schedule.membership,
+                n_nodes=cfg.n_nodes, rf=cfg.rf, vnodes=cfg.vnodes,
+                seed=ring_seed, group_size=cfg.group_size,
+                router_config=RouterConfig(hedging=False),
+            )
+        except Exception as exc:  # a legal script must never fail
+            error = f"{type(exc).__name__}: {exc}"
+
+        ctx: dict = {"error": error}
+        events: dict = {
+            "membership": [f"{e.kind}:{e.node}@{e.at}"
+                           for e in schedule.membership],
+            "error": error,
+        }
+        if error is None:
+            from ..cluster.bench import expected_counts
+
+            oracle = expected_counts(reference, keys)
+            mismatches = int((answers != oracle).sum())
+            table = router.ring.table()
+            live = set(router.ring.node_ids)
+            rf_ok = True
+            rf_detail = None
+            for i, row in enumerate(table.rows):
+                owners = {int(n) for n in row}
+                if len(owners) != cfg.rf or not owners <= live:
+                    rf_ok = False
+                    rf_detail = (f"token row {i} owners {sorted(owners)} "
+                                 f"(rf={cfg.rf}, ring={sorted(live)})")
+                    break
+            ctx.update({
+                "answers_match": mismatches == 0,
+                "mismatches": mismatches,
+                "n_queries": int(keys.size),
+                "rf_ok": rf_ok,
+                "rf_detail": rf_detail,
+            })
+            events.update({
+                "ring": [int(n) for n in router.ring.node_ids],
+                "mismatches": mismatches,
+                "rf_ok": rf_ok,
+            })
+        return ctx, events
+
+    # -- the trajectory ------------------------------------------------
+
+    def run(self, schedule: Schedule, reads: list[np.ndarray] | None = None,
+            workdir: str | Path | None = None) -> Trajectory:
+        """Execute one schedule; returns its digested trajectory."""
+        if reads is None:
+            reads = self.make_reads(schedule.seed)
+        reference = serial_count(reads, self.config.k)
+
+        violations: list[Violation] = []
+        events: dict = {"config": self.config.to_doc()}
+
+        runtime_ctx, events["runtime"] = self._run_runtime(
+            schedule, reads, reference)
+        violations += self.registry.check("runtime", runtime_ctx)
+
+        if workdir is None:
+            with tempfile.TemporaryDirectory(prefix="dakc-dst-") as tmp:
+                lsm_ctx, events["lsm"] = self._run_lsm(
+                    schedule, reads, reference, tmp)
+        else:
+            lsm_ctx, events["lsm"] = self._run_lsm(
+                schedule, reads, reference, workdir)
+        violations += self.registry.check("lsm", lsm_ctx)
+
+        cluster_ctx, events["cluster"] = self._run_cluster(schedule, reference)
+        violations += self.registry.check("cluster", cluster_ctx)
+
+        events["violations"] = [v.to_doc() for v in violations]
+        return Trajectory(
+            schedule=schedule,
+            violations=violations,
+            events=events,
+            digest=_digest(schedule, events),
+        )

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from ..core.dakc import DakcConfig, DeliveryIntegrityError, dakc_count
 from ..core.result import KmerCounts
+from ..core.seeds import spawn_seeds
 from ..core.serial import serial_count
 from ..runtime.cost import CostModel
 from ..runtime.machine import MachineConfig
@@ -32,7 +33,18 @@ from .injector import FaultyConveyor
 from .models import FaultPlan
 from .reliability import DEFAULT_MAX_ROUNDS, ReliabilityError, ReliableConveyor
 
-__all__ = ["ChaosOutcome", "run_chaos", "chaos_sweep", "format_report"]
+__all__ = ["ChaosOutcome", "run_chaos", "chaos_sweep", "derive_plan_seeds",
+           "format_report"]
+
+
+def derive_plan_seeds(seed: int, n: int) -> list[int]:
+    """Independent per-plan fault seeds for a sweep rooted at *seed*.
+
+    Thin wrapper over :func:`repro.core.seeds.spawn_seeds` so sweep
+    callers (the CLI, benchmarks) stop hand-rolling ``seed + i``
+    offsets, which alias between adjacent root seeds.
+    """
+    return spawn_seeds(seed, n)
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,7 @@ class FaultStats:
     delayed: int = 0  # traversals with extra arrival delay/jitter
     crashed_pes: tuple[int, ...] = ()
     dropped_elements: int = 0  # payload elements lost to drops
+    duplicated_elements: int = 0  # extra payload elements created by dups
 
     def summary(self) -> dict[str, int | list[int]]:
         return {
@@ -45,6 +46,7 @@ class FaultStats:
             "corrupted": self.corrupted,
             "delayed": self.delayed,
             "dropped_elements": self.dropped_elements,
+            "duplicated_elements": self.duplicated_elements,
             "crashed_pes": list(self.crashed_pes),
         }
 
@@ -113,6 +115,7 @@ class FaultyConveyor(Conveyor):
             buckets.setdefault(when, []).append(group)
             if fate.duplicate:
                 fs.duplicated += 1
+                fs.duplicated_elements += group.n_elements
                 buckets.setdefault(when + self.plan.duplicate_lag, []).append(group)
         for when, bucket in buckets.items():
             self._in_flight.append((when, next_hop, bucket))

@@ -111,6 +111,23 @@ class FaultPlan:
         """The plan's deterministic fault stream."""
         return np.random.default_rng(self.seed)
 
+    def to_doc(self) -> dict:
+        """JSON-friendly plan description (repro bundles)."""
+        from dataclasses import asdict
+
+        doc = asdict(self)
+        doc["straggler_pes"] = list(self.straggler_pes)
+        doc["crash_pes"] = list(self.crash_pes)
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_doc` output."""
+        doc = dict(doc)
+        doc["straggler_pes"] = tuple(int(p) for p in doc.get("straggler_pes", ()))
+        doc["crash_pes"] = tuple(int(p) for p in doc.get("crash_pes", ()))
+        return cls(**doc)
+
     def dilation(self, n_pes: int) -> list[float] | None:
         """Per-PE clock-dilation vector for :meth:`CostModel.set_dilation`."""
         if not self.straggler_pes or self.straggler_factor == 1.0:
@@ -144,6 +161,55 @@ class FaultPlan:
             duplicate=bool(u[1] < self.duplicate_prob),
             corrupt=bool(rng.uniform() < self.corrupt_prob) if self.corrupt_prob else False,
             extra_delay=extra,
+        )
+
+    @classmethod
+    def sample(
+        cls,
+        rng: np.random.Generator,
+        *,
+        n_pes: int = 0,
+        max_drop: float = 0.05,
+        max_duplicate: float = 0.05,
+        max_delay: float = 0.2,
+        max_reorder: float = 0.3,
+        max_corrupt: float = 0.02,
+        straggler_frac: float = 0.25,
+        max_straggler_factor: float = 4.0,
+    ) -> "FaultPlan":
+        """Compose a random plan from an external RNG stream.
+
+        The schedule fuzzer's plan generator: every field — including
+        the plan's own replay seed — is drawn from *rng*, so the plan
+        is a pure function of the caller's seed stream and two fuzz
+        campaigns with independent roots never share plans.  Each
+        fault class is enabled with probability 1/2 and then drawn
+        uniformly up to its ``max_*`` bound; stragglers (when *n_pes*
+        is given) dilate a random minority of PEs.  Crash-at-barrier
+        faults are deliberately excluded: they require the checkpoint
+        harness (:func:`repro.fault.chaos.run_chaos`), not a bare
+        conveyor swap.
+        """
+        def draw(bound: float) -> float:
+            return float(rng.uniform(0.0, bound)) if rng.random() < 0.5 else 0.0
+
+        stragglers: tuple[int, ...] = ()
+        factor = 1.0
+        if n_pes > 1 and rng.random() < straggler_frac:
+            n_slow = int(rng.integers(1, max(2, n_pes // 2)))
+            stragglers = tuple(
+                int(p) for p in rng.choice(n_pes, size=n_slow, replace=False)
+            )
+            factor = float(rng.uniform(1.5, max_straggler_factor))
+        return cls(
+            seed=int(rng.integers(1 << 63)),
+            drop_prob=draw(max_drop),
+            duplicate_prob=draw(max_duplicate),
+            delay_prob=draw(max_delay),
+            reorder_prob=draw(max_reorder),
+            corrupt_prob=draw(max_corrupt),
+            straggler_pes=stragglers,
+            straggler_factor=factor,
         )
 
     def describe(self) -> str:

@@ -59,12 +59,27 @@ class Actor(ABC):
 
 
 class ActorRuntime:
-    """Cooperative scheduler driving actors and the conveyor."""
+    """Cooperative scheduler driving actors and the conveyor.
 
-    def __init__(self, cost: CostModel, stats: RunStats, conveyor: Conveyor) -> None:
+    ``step_order`` and ``mailbox_order`` are optional scheduling hooks
+    for deterministic simulation testing (:mod:`repro.dst`): the first
+    maps ``(round_no, n_pes)`` to the PE order of that step round, the
+    second maps ``(pe, pending)`` to the order in which one mailbox's
+    newly delivered ``(arrival, group)`` pairs are consumed.  Neither
+    changes arrival timestamps — receive costs still queue through the
+    cost model's busy period — so any hook must leave the counted
+    multiset identical, which is exactly the invariant the fuzzer
+    checks.
+    """
+
+    def __init__(self, cost: CostModel, stats: RunStats, conveyor: Conveyor, *,
+                 step_order=None, mailbox_order=None) -> None:
         self.cost = cost
         self.stats = stats
         self.conveyor = conveyor
+        self.step_order = step_order
+        self.mailbox_order = mailbox_order
+        self._round = 0
         self._delivered_upto = [0] * cost.n_pes
 
     def _deliver_pending(self, actors: list[Actor]) -> int:
@@ -76,7 +91,10 @@ class ActorRuntime:
                 continue
             pe_stats = self.stats.pe[pe]
             jobs = []
-            for arrival, group in queue[start:]:
+            pending = list(queue[start:])
+            if self.mailbox_order is not None:
+                pending = self.mailbox_order(pe, pending)
+            for arrival, group in pending:
                 service = actors[pe].on_message(group, arrival)
                 jobs.append((arrival, service))
                 pe_stats.kmers_received += group.n_elements
@@ -96,9 +114,12 @@ class ActorRuntime:
         active = [True] * len(actors)
         while True:
             progressed = False
-            for pe, actor in enumerate(actors):
+            order = (range(len(actors)) if self.step_order is None
+                     else self.step_order(self._round, len(actors)))
+            self._round += 1
+            for pe in order:
                 if active[pe]:
-                    active[pe] = actor.step()
+                    active[pe] = actors[pe].step()
                     progressed = progressed or active[pe]
             self.conveyor.drain()
             delivered = self._deliver_pending(actors)

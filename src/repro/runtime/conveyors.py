@@ -110,6 +110,16 @@ class Conveyor:
         self.delivered: list[list[tuple[float, PacketGroup]]] = [
             [] for _ in range(cost.n_pes)
         ]
+        #: Elements handed to :meth:`inject` by the application (relays
+        #: and retransmissions are not re-counted) — one side of the
+        #: packet-conservation ledger checked by :mod:`repro.dst`.
+        self.injected_elements: int = 0
+        #: Optional drain-order hook ``(arrival, seq, hop) -> key``.
+        #: The drain heap pops messages by this key instead of strict
+        #: arrival order; deterministic schedule fuzzing (repro.dst)
+        #: uses it to explore adversarial delivery interleavings.
+        #: Arrival timestamps of delivered groups are unaffected.
+        self.order_hook = None
 
     # -- injection ----------------------------------------------------
 
@@ -121,6 +131,7 @@ class Conveyor:
 
     def inject(self, group: PacketGroup) -> None:
         """Inject a group at its source PE (application send)."""
+        self.injected_elements += group.n_elements
         self._enqueue(group.src, group)
 
     def _enqueue(self, from_pe: int, group: PacketGroup) -> None:
@@ -217,13 +228,17 @@ class Conveyor:
         and forwarded (charging the relay's clock for the handling),
         exactly the store-and-forward behaviour of 2D/3D Conveyors.
         """
-        heap: list[tuple[float, int, int, list[PacketGroup]]] = []
+        heap: list[tuple] = []
         seq = 0
 
         def absorb() -> None:
             nonlocal seq
             for arrival, hop, groups in self._in_flight:
-                heapq.heappush(heap, (arrival, seq, hop, groups))
+                # Pop order follows (key, seq); seq is unique, so the
+                # non-comparable tail entries are never compared.
+                key = (arrival if self.order_hook is None
+                       else self.order_hook(arrival, seq, hop))
+                heapq.heappush(heap, (key, seq, arrival, hop, groups))
                 seq += 1
             self._in_flight.clear()
 
@@ -248,7 +263,7 @@ class Conveyor:
                     "(non-monotone route)"
                 )
             budget -= 1
-            arrival, _, hop, groups = heapq.heappop(heap)
+            _key, _, arrival, hop, groups = heapq.heappop(heap)
             hop_stats = self.stats.pe[hop]
             finals = [g for g in groups if g.dst == hop]
             relays = [g for g in groups if g.dst != hop]

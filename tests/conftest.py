@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
@@ -12,14 +14,38 @@ from repro.seq.datasets import materialize
 from repro.seq.genomes import RepeatSpec, repeat_genome, uniform_genome
 from repro.seq.readsim import ReadSimConfig, simulate_reads
 
-# Keep hypothesis fast and deterministic in CI.
+# Hypothesis effort tiers; select with HYPOTHESIS_PROFILE (default dev).
+# All tiers disable deadlines — simulated-machine tests have cold-start
+# costs that trip wall-clock deadlines without finding bugs.
+_PROFILE_EXAMPLES = {"dev": 25, "ci": 100, "nightly": 1000}
+for _name, _examples in _PROFILE_EXAMPLES.items():
+    settings.register_profile(
+        _name,
+        max_examples=_examples,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+# Back-compat alias: the original single profile, same budget as dev.
 settings.register_profile(
     "repro",
-    max_examples=30,
+    max_examples=25,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("repro")
+_ACTIVE_PROFILE = os.environ.get("HYPOTHESIS_PROFILE", "dev")
+settings.load_profile(_ACTIVE_PROFILE)
+
+
+def pytest_report_header(config) -> list[str]:
+    """Surface the active hypothesis tier in the pytest header."""
+    current = settings()
+    derandomize = getattr(current, "derandomize", False)
+    seed = os.environ.get("HYPOTHESIS_SEED", "random")
+    return [
+        f"hypothesis profile: {_ACTIVE_PROFILE} "
+        f"(max_examples={current.max_examples}, "
+        f"derandomize={derandomize}, seed={seed})"
+    ]
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,69 @@
+"""Tests for repro bundles: save/load round-trip and exact replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dst.bundle import ReproBundle, load_bundle, replay_bundle, save_bundle
+from repro.dst.invariants import Invariant, default_registry
+from repro.dst.schedule import ScheduleFuzzer
+from repro.dst.sim import SimConfig, Simulation
+
+FAST = SimConfig(n_reads=12, read_len=30, n_queries=48, miss_queries=8,
+                 group_size=24)
+
+
+def _fired_registry():
+    registry = default_registry()
+    registry.register(Invariant("always-fire", "runtime",
+                                lambda ctx: "fired"))
+    return registry
+
+
+def _failing_bundle() -> ReproBundle:
+    sim = Simulation(FAST, registry=_fired_registry())
+    schedule = ScheduleFuzzer(seed=0).schedule(1)
+    reads = sim.make_reads(schedule.seed)
+    trajectory = sim.run(schedule, reads=reads)
+    return ReproBundle.from_failure(FAST, schedule, reads, trajectory)
+
+
+def test_roundtrip(tmp_path):
+    bundle = _failing_bundle()
+    path = save_bundle(bundle, tmp_path / "deep" / "repro.json")
+    assert path.exists()
+    loaded = load_bundle(path)
+    assert loaded.schedule == bundle.schedule
+    assert loaded.config == bundle.config
+    assert loaded.digest == bundle.digest
+    assert loaded.invariant == "always-fire"
+    assert len(loaded.reads) == len(bundle.reads)
+    assert all(np.array_equal(a, b)
+               for a, b in zip(loaded.reads, bundle.reads))
+    assert [v.to_doc() for v in loaded.violations] == \
+        [v.to_doc() for v in bundle.violations]
+
+
+def test_replay_reproduces_digest_and_violation(tmp_path):
+    bundle = _failing_bundle()
+    loaded = load_bundle(save_bundle(bundle, tmp_path / "repro.json"))
+    replayed = replay_bundle(loaded, registry=_fired_registry())
+    assert replayed.digest == bundle.digest
+    assert any(v.invariant == "always-fire" for v in replayed.violations)
+
+
+def test_replay_after_fix_comes_back_clean(tmp_path):
+    """With the 'bug' (the injected invariant) gone, the replay passes —
+    exactly the regression check a fix must clear."""
+    bundle = _failing_bundle()
+    loaded = load_bundle(save_bundle(bundle, tmp_path / "repro.json"))
+    replayed = replay_bundle(loaded)  # default registry: no always-fire
+    assert not any(v.invariant == "always-fire"
+                   for v in replayed.violations)
+    assert replayed.ok
+
+
+def test_rejects_foreign_format():
+    with pytest.raises(ValueError):
+        ReproBundle.from_doc({"format": "something-else"})

@@ -1,0 +1,95 @@
+"""Mutation canaries: hand-seeded bugs the fuzz campaign must catch.
+
+Each test monkeypatches one real bug into a different layer — a
+conveyor that silently discards a PE's flushes, a ring whose
+replica rows lose a distinct owner, a WAL that acknowledges appends
+without writing the record — and asserts the default invariant
+registry flags it within a small schedule budget.  The companion
+test pins the other direction: on unmutated code the same budget is
+violation-free.  Together they are the evidence the harness has
+teeth and the invariants are not change detectors.
+"""
+
+from __future__ import annotations
+
+from unittest.mock import patch
+
+from repro.cluster.ring import HashRing
+from repro.dst.schedule import ScheduleFuzzer
+from repro.dst.sim import Simulation
+from repro.lsm.wal import WriteAheadLog, as_read_list
+from repro.runtime.conveyors import Conveyor, _HopBuffer
+
+
+def _hunt(budget: int):
+    """First violating (index, trajectory) under the seed-0 campaign."""
+    sim = Simulation()
+    for i, schedule in enumerate(ScheduleFuzzer(seed=0).schedules(budget)):
+        t = sim.run(schedule)
+        if t.violations:
+            return i, t
+    return None, None
+
+
+def test_clean_head_is_violation_free():
+    index, _ = _hunt(10)
+    assert index is None
+
+
+def test_canary_dropped_conveyor_flush_is_caught():
+    """Bug: PE 1's staged buffers are discarded instead of launched."""
+    orig_flush = Conveyor._flush_hop
+
+    def buggy_flush(self, from_pe, next_hop):
+        buf = self._buffers[from_pe].get(next_hop)
+        if from_pe == 1 and buf is not None and buf.groups:
+            self._staged_bytes[from_pe] -= buf.bytes
+            self._buffers[from_pe][next_hop] = _HopBuffer()
+            return
+        orig_flush(self, from_pe, next_hop)
+
+    with patch.object(Conveyor, "_flush_hop", buggy_flush):
+        index, trajectory = _hunt(6)
+    assert index is not None
+    names = {v.invariant for v in trajectory.violations}
+    assert names & {"serial-multiset", "packet-conservation"}
+
+
+def test_canary_ring_rf_off_by_one_is_caught():
+    """Bug: one compiled table row repeats an owner (RF-1 real copies)."""
+    orig_compile = HashRing._compile
+
+    def buggy_compile(self):
+        table = orig_compile(self)
+        if table.rows.shape[1] > 1:
+            table.rows[0, -1] = table.rows[0, 0]
+        return table
+
+    with patch.object(HashRing, "_compile", buggy_compile):
+        index, trajectory = _hunt(2)
+    assert index is not None
+    assert any(v.invariant == "ring-rf" for v in trajectory.violations)
+
+
+def test_canary_wal_skipped_record_is_caught():
+    """Bug: the WAL acks an append without writing the record.
+
+    Invisible on any path where every batch reaches a flush (a flush
+    resets the WAL), so only crash schedules expose it — the fuzzer's
+    armed crash points do, within a modest budget.
+    """
+
+    def buggy_append(self, reads):
+        as_read_list(reads)  # same validation, no bytes written
+        self.crash.hit("wal.pre_append")
+        seq = self.last_seq + 1
+        self.crash.hit("wal.mid_append")
+        self.last_seq = seq
+        self.records += 1
+        self.crash.hit("wal.post_append")
+        return seq
+
+    with patch.object(WriteAheadLog, "append", buggy_append):
+        index, trajectory = _hunt(8)
+    assert index is not None
+    assert any(v.invariant == "wal-recovery" for v in trajectory.violations)
