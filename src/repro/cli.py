@@ -21,6 +21,9 @@ Subcommands:
   store (WAL + memtable + sorted runs).
 * ``compact``  — merge an LSM store's runs down to the configured
   read-amplification bound.
+* ``trace``    — query-trace tooling (repro.trace): ``record`` a served
+  workload, ``profile`` its exact LRU miss-ratio curve, ``sample`` it
+  spatially/temporally, ``replay`` it bit-identically.
 """
 
 from __future__ import annotations
@@ -176,12 +179,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="hot-key cache slots (0 disables the cache)")
     p_serve.add_argument("--cache-threshold", type=int, default=2,
                          help="sightings before a key earns a cache slot")
+    p_serve.add_argument("--t2-capacity", type=int, default=0,
+                         help="second cache tier slots (0 = single tier; "
+                         "t2 hits charge a simulated device latency)")
     p_serve.add_argument("--group-size", type=int, default=256,
                          help="keys per client arrival group")
     p_serve.add_argument("--concurrency", type=int, default=8,
                          help="client groups kept in flight")
+    _add_burst_args(p_serve)
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--json", help="write the metrics snapshot here")
+    p_serve.add_argument("--trace-out",
+                         help="record the engine's query trace here (.npz)")
 
     p_cl = sub.add_parser(
         "cluster-bench",
@@ -220,8 +229,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="keys per rebalance copy chunk")
     p_cl.add_argument("--repeats", type=int, default=3,
                       help="best-of repeats for the overhead section")
+    _add_burst_args(p_cl)
     p_cl.add_argument("--seed", type=int, default=0)
     p_cl.add_argument("--json", help="write the benchmark document here")
+    p_cl.add_argument("--trace-out",
+                      help="record the routed query trace here (.npz)")
 
     p_ing = sub.add_parser(
         "ingest",
@@ -294,6 +306,86 @@ def build_parser() -> argparse.ArgumentParser:
     p_dst_sweep.add_argument("--out", default=None,
                              help="directory for shrunk repro bundles")
 
+    p_tr = sub.add_parser(
+        "trace",
+        help="query-trace capture, reuse-distance cache modelling, "
+             "sampling, and deterministic replay (repro.trace)",
+    )
+    tr_sub = p_tr.add_subparsers(dest="trace_command", required=True)
+
+    p_tr_rec = tr_sub.add_parser(
+        "record", help="serve a Zipf(+burst) stream and record its trace")
+    tr_src = p_tr_rec.add_mutually_exclusive_group()
+    tr_src.add_argument("--database", help=".npz count database to serve")
+    tr_src.add_argument("--dataset", default="synthetic-20",
+                        help="Table V dataset key to count and serve")
+    p_tr_rec.add_argument("-k", type=int, default=15, help="k-mer length")
+    p_tr_rec.add_argument("--budget", type=int, default=100_000,
+                          help="replica k-mer budget when using --dataset")
+    p_tr_rec.add_argument("--queries", type=int, default=40_000)
+    p_tr_rec.add_argument("--shards", type=int, default=8)
+    p_tr_rec.add_argument("--zipf", type=float, default=1.1)
+    p_tr_rec.add_argument("--miss-fraction", type=float, default=0.02)
+    p_tr_rec.add_argument("--cache-capacity", type=int, default=4096,
+                          help="t1 cache slots (0 disables the cache)")
+    p_tr_rec.add_argument("--cache-threshold", type=int, default=2)
+    p_tr_rec.add_argument("--t2-capacity", type=int, default=0,
+                          help="second cache tier slots (0 = single tier)")
+    _add_burst_args(p_tr_rec)
+    p_tr_rec.add_argument("--seed", type=int, default=0)
+    p_tr_rec.add_argument("--out", required=True,
+                          help="trace output path (.npz)")
+
+    p_tr_prof = tr_sub.add_parser(
+        "profile", help="reuse-distance profile: exact LRU miss-ratio curve")
+    p_tr_prof.add_argument("trace", help="trace file written by `trace record`")
+    p_tr_prof.add_argument("--capacities",
+                           help="comma-separated cache capacities "
+                           "(default: log-spaced up to the working set)")
+    p_tr_prof.add_argument("--measure", action="store_true",
+                           help="also brute-force-simulate LRU at each "
+                           "capacity and report the model error")
+    p_tr_prof.add_argument("--json", help="write the profile document here")
+
+    p_tr_rep = tr_sub.add_parser(
+        "replay", help="replay a recorded trace through a fresh engine")
+    p_tr_rep.add_argument("trace", help="trace file to replay")
+    rep_src = p_tr_rep.add_mutually_exclusive_group()
+    rep_src.add_argument("--database", help=".npz count database to serve")
+    rep_src.add_argument("--dataset", default="synthetic-20",
+                         help="Table V dataset key to count and serve")
+    p_tr_rep.add_argument("-k", type=int, default=15, help="k-mer length")
+    p_tr_rep.add_argument("--budget", type=int, default=100_000,
+                          help="replica k-mer budget when using --dataset")
+    p_tr_rep.add_argument("--shards", type=int, default=8)
+    p_tr_rep.add_argument("--cache-capacity", type=int, default=4096)
+    p_tr_rep.add_argument("--cache-threshold", type=int, default=2)
+    p_tr_rep.add_argument("--t2-capacity", type=int, default=0)
+    p_tr_rep.add_argument("--tick", type=float, default=1e-3,
+                          help="arrival-group granularity (seconds)")
+    p_tr_rep.add_argument("--group-size", type=int, default=256,
+                          help="max keys per replayed client batch")
+    p_tr_rep.add_argument("--concurrency", type=int, default=8)
+    p_tr_rep.add_argument("--json", help="write the replay document here")
+
+    p_tr_smp = tr_sub.add_parser(
+        "sample", help="spatially (SHARDS) or temporally sample a trace")
+    p_tr_smp.add_argument("trace", help="trace file to sample")
+    p_tr_smp.add_argument("--out", required=True,
+                          help="sampled trace output path (.npz)")
+    p_tr_smp.add_argument("--rate", type=float, default=None,
+                          help="spatial (hash-filter) sampling rate in (0,1]")
+    p_tr_smp.add_argument("--salt", type=int, default=0,
+                          help="re-salt the spatial filter for an "
+                          "independent sample")
+    p_tr_smp.add_argument("--window", type=float, default=None,
+                          help="temporal: keep this many seconds ...")
+    p_tr_smp.add_argument("--every", type=float, default=None,
+                          help="... out of every this many seconds")
+    p_tr_smp.add_argument("--check", action="store_true",
+                          help="compare the sampled (rescaled) miss-ratio "
+                          "curve against the full trace's exact curve")
+
     p_tl = sub.add_parser("timeline", help="ASCII Gantt of a simulated run")
     p_tl.add_argument("--dataset", default="synthetic-20")
     p_tl.add_argument("-k", type=int, default=31)
@@ -305,6 +397,27 @@ def build_parser() -> argparse.ArgumentParser:
                       "here (open in Perfetto / chrome://tracing)")
 
     return parser
+
+
+def _add_burst_args(parser) -> None:
+    """Burst-overlay flags shared by the workload-driving commands."""
+    parser.add_argument("--burst-amplitude", type=float, default=1.0,
+                        help="rate multiplier inside bursts (1 = no bursts)")
+    parser.add_argument("--burst-duration", type=float, default=0.05,
+                        help="seconds of burst per period")
+    parser.add_argument("--burst-period", type=float, default=0.5,
+                        help="seconds from burst start to burst start")
+
+
+def _burst_from_args(args):
+    """A BurstSpec from the shared flags, or None when amplitude <= 1."""
+    if getattr(args, "burst_amplitude", 1.0) <= 1.0:
+        return None
+    from .serve import BurstSpec
+
+    return BurstSpec(amplitude=args.burst_amplitude,
+                     duration=args.burst_duration,
+                     period=args.burst_period)
 
 
 def _cmd_count(args) -> int:
@@ -641,6 +754,12 @@ def _cmd_serve_bench(args) -> int:
         batch_window=args.batch_window,
         max_inflight=args.max_inflight,
     )
+    recorder = None
+    if args.trace_out:
+        from .trace import TraceRecorder
+
+        recorder = TraceRecorder(k=kc.k, seed=args.seed,
+                                 source=f"serve-bench seed={args.seed}")
     result = run_serve_bench(
         kc,
         n_queries=args.queries,
@@ -651,9 +770,12 @@ def _cmd_serve_bench(args) -> int:
         config=config,
         cache_capacity=args.cache_capacity,
         cache_threshold=args.cache_threshold,
+        t2_capacity=args.t2_capacity,
         group_size=args.group_size,
         concurrency=args.concurrency,
         store=lsm_view,
+        burst=_burst_from_args(args),
+        recorder=recorder,
     )
     if lsm_view is not None:
         lsm_view.store.close()
@@ -680,6 +802,10 @@ def _cmd_serve_bench(args) -> int:
             json.dump(result.to_doc(), fh, indent=2)
             fh.write("\n")
         print(f"# wrote metrics snapshot to {args.json}")
+    if recorder is not None:
+        trace = recorder.save(args.trace_out)
+        print(f"# recorded {trace.n_records:,} trace records to "
+              f"{args.trace_out}")
     if not result.answers_match:
         print("error: served answers diverged from the naive oracle",
               file=sys.stderr)
@@ -703,6 +829,12 @@ def _cmd_cluster_bench(args) -> int:
         kc = serial_count(w.reads, args.k)
         source = f"{w.spec.display} (replica)"
 
+    recorder = None
+    if args.trace_out:
+        from .trace import TraceRecorder
+
+        recorder = TraceRecorder(k=kc.k, seed=args.seed,
+                                 source=f"cluster-bench seed={args.seed}")
     doc = run_cluster_bench(
         kc,
         n_nodes=args.cluster_nodes,
@@ -718,7 +850,13 @@ def _cmd_cluster_bench(args) -> int:
         straggler_delay=args.straggler_delay,
         chunk_keys=args.chunk_keys,
         repeats=args.repeats,
+        burst=_burst_from_args(args),
+        recorder=recorder,
     )
+    if recorder is not None:
+        trace = recorder.save(args.trace_out)
+        print(f"# recorded {trace.n_records:,} trace records to "
+              f"{args.trace_out}")
     ov, hd, ch = doc["overhead"], doc["hedging"], doc["chaos"]
     print(f"# database:  {source}  ({kc.n_distinct:,} distinct, k={kc.k})")
     print(f"# cluster:   {args.cluster_nodes} nodes, rf={args.rf}, "
@@ -871,6 +1009,158 @@ def _cmd_dst(args) -> int:
     return 0 if all(r.ok for r in reports) else 1
 
 
+def _trace_counts(args):
+    """Load/build the count database a trace command serves against."""
+    if getattr(args, "database", None):
+        from .apps.store import load_counts
+
+        kc, _ = load_counts(args.database)
+        return kc, args.database
+    from .bench.workloads import build_workload
+    from .core.serial import serial_count
+
+    w = build_workload(args.dataset, args.k, budget_kmers=args.budget)
+    return serial_count(w.reads, args.k), f"{w.spec.display} (replica)"
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    import numpy as np
+
+    from .trace import load_trace
+
+    if args.trace_command == "record":
+        from .serve import run_serve_bench
+        from .trace import TraceRecorder
+
+        kc, source = _trace_counts(args)
+        recorder = TraceRecorder(k=kc.k, seed=args.seed,
+                                 source=f"trace record seed={args.seed}")
+        result = run_serve_bench(
+            kc, n_queries=args.queries, n_shards=args.shards,
+            zipf_s=args.zipf, seed=args.seed,
+            miss_fraction=args.miss_fraction,
+            cache_capacity=args.cache_capacity,
+            cache_threshold=args.cache_threshold,
+            t2_capacity=args.t2_capacity,
+            burst=_burst_from_args(args), recorder=recorder,
+        )
+        trace = recorder.save(args.out)
+        tiers = trace.tier_counts()
+        print(f"# database:  {source}  ({kc.n_distinct:,} distinct, k={kc.k})")
+        print(f"# recorded:  {trace.n_records:,} records over "
+              f"{trace.duration:.3f} s  (answers match: "
+              f"{result.answers_match})")
+        print(f"# tiers:     t1 {tiers['t1']:,}  t2 {tiers['t2']:,}  "
+              f"store {tiers['store']:,}")
+        print(f"# wrote trace to {args.out}")
+        return 0 if result.answers_match else 1
+
+    if args.trace_command == "profile":
+        from .trace import profile_trace
+        from .trace.replay import measured_miss_ratio_curve
+
+        trace = load_trace(args.trace)
+        caps = ([int(c) for c in args.capacities.split(",") if c.strip()]
+                if args.capacities else None)
+        profile = profile_trace(trace, caps)
+        doc = {"trace": trace.describe(), **profile.to_doc()}
+        d = doc["trace"]
+        print(f"# trace:     {args.trace}  ({d['n_records']:,} records, "
+              f"{d['n_distinct']:,} distinct keys, k={d['k']})")
+        print(f"# cold miss floor: {d['n_distinct'] / max(d['n_records'], 1):.1%}")
+        measured = None
+        if args.measure:
+            measured = measured_miss_ratio_curve(trace.keys,
+                                                 profile.capacities)
+            doc["measured_miss_ratio"] = measured.tolist()
+            doc["model_error_pp"] = float(
+                np.abs(np.asarray(doc["miss_ratio"]) - measured).max()) * 100
+        header = "# capacity   predicted-miss"
+        if measured is not None:
+            header += "   measured-miss"
+        print(header)
+        for j, cap in enumerate(profile.capacities):
+            line = f"  {int(cap):>8}   {doc['miss_ratio'][j]:>14.4f}"
+            if measured is not None:
+                line += f"   {measured[j]:>13.4f}"
+            print(line)
+        if measured is not None:
+            print(f"# max model error: {doc['model_error_pp']:.3f} pp")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(doc, fh, indent=2)
+                fh.write("\n")
+            print(f"# wrote profile document to {args.json}")
+        return 0
+
+    if args.trace_command == "replay":
+        from .serve import ShardedStore
+        from .trace import replay_trace
+
+        trace = load_trace(args.trace)
+        kc, source = _trace_counts(args)
+        store = ShardedStore.from_counts(kc, args.shards)
+        result = replay_trace(
+            trace, store, cache_capacity=args.cache_capacity,
+            cache_threshold=args.cache_threshold,
+            t2_capacity=args.t2_capacity, tick=args.tick,
+            group_size=args.group_size, concurrency=args.concurrency,
+        )
+        snap = result.metrics.snapshot()
+        print(f"# trace:     {args.trace}  ({trace.n_records:,} records)")
+        print(f"# database:  {source}  ({kc.n_distinct:,} distinct, k={kc.k})")
+        print(f"# replayed:  {result.n_groups} arrival groups at "
+              f"{snap['throughput_qps']:,.0f} qps")
+        print(f"# cache hit rate: {snap['cache']['hit_rate']:.1%}")
+        print(f"# answers bit-identical to scalar oracle: "
+              f"{result.answers_match}")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(result.to_doc(), fh, indent=2)
+                fh.write("\n")
+            print(f"# wrote replay document to {args.json}")
+        if not result.answers_match:
+            print("error: replayed answers diverged from the scalar oracle",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    # sample
+    from .trace import save_trace, spatial_sample, temporal_sample
+
+    trace = load_trace(args.trace)
+    if (args.rate is None) == (args.window is None):
+        raise ValueError("pick one: --rate (spatial) or --window/--every "
+                         "(temporal)")
+    if args.rate is not None:
+        sampled = spatial_sample(trace, args.rate, salt=args.salt)
+        kind = f"spatial rate={args.rate} salt={args.salt}"
+    else:
+        if args.every is None:
+            raise ValueError("--window needs --every")
+        sampled = temporal_sample(trace, window=args.window, every=args.every)
+        kind = f"temporal {args.window}s/{args.every}s"
+    save_trace(args.out, sampled)
+    kept = sampled.n_records / max(trace.n_records, 1)
+    print(f"# sampled:   {kind}")
+    print(f"# kept:      {sampled.n_records:,} / {trace.n_records:,} "
+          f"records ({kept:.1%})")
+    if args.check:
+        from .trace import measured_miss_ratio_curve, scaled_miss_ratio_curve
+        from .trace.profiler import default_capacities
+
+        caps = default_capacities(int(np.unique(trace.keys).size), points=8)
+        full = measured_miss_ratio_curve(trace.keys, caps)
+        est = scaled_miss_ratio_curve(sampled, caps)
+        err = float(np.abs(est - full).max()) * 100
+        print(f"# sampled-vs-full miss-ratio error: {err:.2f} pp "
+              f"(capacities {caps.tolist()})")
+    print(f"# wrote sampled trace to {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "count": _cmd_count,
     "datasets": _cmd_datasets,
@@ -883,6 +1173,7 @@ _COMMANDS = {
     "ingest": _cmd_ingest,
     "compact": _cmd_compact,
     "dst": _cmd_dst,
+    "trace": _cmd_trace,
     "analyze": _cmd_analyze,
     "compare": _cmd_compare,
     "timeline": _cmd_timeline,

@@ -32,7 +32,7 @@ from ..core.result import KmerCounts
 from ..core.seeds import spawn_seeds
 from ..serve.engine import EngineConfig, QueryEngine, replay
 from ..serve.shards import ShardedStore
-from ..serve.workload import zipf_workload
+from ..serve.workload import BurstSpec, zipf_workload
 from .node import ClusterNode, RangeStore, build_cluster
 from .rebalance import rebalance
 from .router import ClusterRouter, RouterConfig
@@ -260,14 +260,28 @@ def run_cluster_bench(
     straggler_delay: float = 2e-2,
     chunk_keys: int = 2048,
     repeats: int = 3,
+    burst: BurstSpec | None = None,
+    recorder=None,
 ) -> dict:
-    """Run all three cluster-bench sections; returns the JSON document."""
+    """Run all three cluster-bench sections; returns the JSON document.
+
+    *recorder* (a :class:`repro.trace.TraceRecorder`) captures the
+    workload through one dedicated router pass — separate from the
+    measured sections, so best-of repeats don't record the same stream
+    several times over.
+    """
     # One root seed, independent child streams per section: the workload
     # draw and the three ring constructions must not alias (spawn(), not
     # ``seed + i`` arithmetic — see repro.core.seeds).
     workload_seed, overhead_seed, hedging_seed, chaos_seed = spawn_seeds(seed, 4)
     stream = zipf_workload(counts, n_queries, s=zipf_s, seed=workload_seed,
-                           miss_fraction=miss_fraction)
+                           miss_fraction=miss_fraction, burst=burst)
+    if recorder is not None:
+        ring, nodes = build_cluster(counts, n_nodes, rf=rf, vnodes=vnodes,
+                                    seed=overhead_seed)
+        tap = ClusterRouter(ring, nodes, recorder=recorder)
+        asyncio.run(route_replay(tap, stream.keys, group_size=group_size,
+                                 concurrency=concurrency))
     doc = {
         "experiment": "cluster-bench",
         "config": {
@@ -277,6 +291,7 @@ def run_cluster_bench(
             "concurrency": concurrency, "service_time_s": service_time,
             "straggler_delay_s": straggler_delay, "chunk_keys": chunk_keys,
             "n_distinct": int(counts.n_distinct), "k": int(counts.k),
+            "burst": burst.to_doc() if burst is not None else None,
         },
     }
     doc["overhead"] = _bench_overhead(

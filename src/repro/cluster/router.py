@@ -90,7 +90,7 @@ class ClusterRouter:
 
     def __init__(self, ring: HashRing, nodes: dict[int, ClusterNode],
                  config: RouterConfig | None = None, *,
-                 metrics: ClusterMetrics | None = None):
+                 metrics: ClusterMetrics | None = None, recorder=None):
         missing = [n for n in ring.node_ids if n not in nodes]
         if missing:
             raise ValueError(f"ring nodes without a ClusterNode: {missing}")
@@ -98,6 +98,10 @@ class ClusterRouter:
         self.nodes = dict(nodes)
         self.config = config or RouterConfig()
         self.metrics = metrics or ClusterMetrics()
+        #: Optional :class:`repro.trace.TraceRecorder` (duck-typed:
+        #: anything with ``record_batch(keys, tiers)``).  The router
+        #: has no cache tier, so every record is charged to the store.
+        self.recorder = recorder
         self._rr = 0              # rotating replica preference
         self._inflight: set[int] = set()  # batch ids in flight (for quiesce)
         self._next_batch = 0
@@ -204,6 +208,8 @@ class ClusterRouter:
         n = int(keys.size)
         if n == 0:
             return np.empty(0, dtype=np.int64)
+        if self.recorder is not None:
+            self.recorder.record_batch(keys, None)
         t0 = time.perf_counter()
         positions = HashRing.positions(keys)
         idx = np.searchsorted(self._tokens, positions, side="left") \

@@ -139,6 +139,7 @@ def run_membership_script(
     group_size: int = 64,
     chunk_keys: int = 2048,
     router_config: RouterConfig | None = None,
+    groups: list[np.ndarray] | None = None,
 ) -> tuple[np.ndarray, ClusterRouter]:
     """Serve *keys* in batches while executing *script* between them.
 
@@ -147,6 +148,12 @@ def run_membership_script(
     are what invariant checkers inspect).  The whole run is a pure
     function of ``(counts, keys, script, config)`` — no wall-clock
     dependence as long as ``router_config`` keeps hedging off.
+
+    *groups* overrides the fixed ``group_size`` chunking with explicit
+    batches (e.g. :func:`repro.serve.workload.arrival_groups` of a
+    bursty stream, so membership events interleave with realistic
+    batch-size swings); the concatenation of *groups* must equal
+    *keys*.
     """
     keys = np.asarray(keys, dtype=np.uint64)
     ring, nodes = build_cluster(counts, n_nodes, rf=rf, vnodes=vnodes,
@@ -154,7 +161,13 @@ def run_membership_script(
     config = router_config if router_config is not None else RouterConfig(
         hedging=False)
     router = ClusterRouter(ring, nodes, config)
-    batches = [keys[i:i + group_size] for i in range(0, keys.size, group_size)]
+    if groups is not None:
+        batches = [np.asarray(g, dtype=np.uint64) for g in groups]
+        if sum(int(b.size) for b in batches) != int(keys.size):
+            raise ValueError("groups do not cover the key stream")
+    else:
+        batches = [keys[i:i + group_size]
+                   for i in range(0, keys.size, group_size)]
 
     async def drive() -> np.ndarray:
         pending = list(script)

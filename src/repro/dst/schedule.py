@@ -54,6 +54,12 @@ class Schedule:
     crash_nth: int = 1
     #: Scripted cluster membership churn.
     membership: tuple[MembershipEvent, ...] = ()
+    #: Burst overlay on the cluster query stream (plain floats so the
+    #: JSON round-trip stays trivial; amplitude 1.0 / duration 0.0
+    #: means no bursts — the production arrival process).
+    burst_amplitude: float = 1.0
+    burst_duration: float = 0.0
+    burst_period: float = 0.5
 
     def __post_init__(self) -> None:
         if self.mode not in ("fast", "exact"):
@@ -62,6 +68,23 @@ class Schedule:
             raise ValueError(f"unknown crash point {self.crash_point!r}")
         if self.crash_nth < 1:
             raise ValueError("crash_nth must be >= 1")
+        if self.burst_amplitude < 1.0:
+            raise ValueError("burst_amplitude must be >= 1")
+        if self.burst_period <= 0:
+            raise ValueError("burst_period must be > 0")
+        if not 0.0 <= self.burst_duration <= self.burst_period:
+            raise ValueError("need 0 <= burst_duration <= burst_period")
+
+    def burst(self):
+        """The schedule's :class:`~repro.serve.workload.BurstSpec`,
+        or ``None`` when the overlay is inactive."""
+        if self.burst_amplitude <= 1.0 or self.burst_duration <= 0.0:
+            return None
+        from ..serve.workload import BurstSpec
+
+        return BurstSpec(amplitude=self.burst_amplitude,
+                         duration=self.burst_duration,
+                         period=self.burst_period)
 
     # -- serialisation -------------------------------------------------
 
@@ -79,6 +102,9 @@ class Schedule:
             "crash_point": self.crash_point,
             "crash_nth": self.crash_nth,
             "membership": script_to_doc(self.membership),
+            "burst_amplitude": self.burst_amplitude,
+            "burst_duration": self.burst_duration,
+            "burst_period": self.burst_period,
         }
 
     @classmethod
@@ -97,6 +123,9 @@ class Schedule:
             crash_point=doc.get("crash_point"),
             crash_nth=int(doc.get("crash_nth", 1)),
             membership=script_from_doc(doc.get("membership", [])),
+            burst_amplitude=float(doc.get("burst_amplitude", 1.0)),
+            burst_duration=float(doc.get("burst_duration", 0.0)),
+            burst_period=float(doc.get("burst_period", 0.5)),
         )
 
     def simplified(self, **overrides) -> "Schedule":
@@ -118,6 +147,10 @@ class Schedule:
         if self.membership:
             parts.append("churn=" + ",".join(
                 f"{e.kind}:{e.node}@{e.at}" for e in self.membership))
+        if self.burst() is not None:
+            parts.append(f"burst=x{self.burst_amplitude:.1f}"
+                         f"/{self.burst_duration:.2f}s"
+                         f"@{self.burst_period:.2f}s")
         return " ".join(parts)
 
 
@@ -171,6 +204,11 @@ class ScheduleFuzzer:
             crash_nth = int(rng.integers(1, 3))
         membership = sample_script(rng, n_nodes=self.n_nodes, rf=self.rf,
                                    n_batches=self.n_batches)
+        burst_amplitude, burst_duration, burst_period = 1.0, 0.0, 0.5
+        if rng.random() < 0.35:
+            burst_amplitude = float(rng.uniform(2.0, 8.0))
+            burst_period = float(rng.uniform(0.1, 0.5))
+            burst_duration = float(burst_period * rng.uniform(0.1, 0.6))
         return Schedule(
             seed=child,
             mode=mode,
@@ -183,6 +221,9 @@ class ScheduleFuzzer:
             crash_point=crash_point,
             crash_nth=crash_nth,
             membership=membership,
+            burst_amplitude=burst_amplitude,
+            burst_duration=burst_duration,
+            burst_period=burst_period,
         )
 
     def schedules(self, n: int):

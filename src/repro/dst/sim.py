@@ -356,13 +356,32 @@ class Simulation:
     def _run_cluster(self, schedule: Schedule, reference) -> tuple[dict, dict]:
         cfg = self.config
         _, query_seed, ring_seed = spawn_seeds(schedule.seed, 3)
-        rng = np.random.default_rng(query_seed)
-        n_hits = max(0, cfg.n_queries - cfg.miss_queries)
-        keys = rng.choice(reference.kmers, size=n_hits)
-        misses = rng.integers(0, 1 << 63, size=cfg.miss_queries,
-                              dtype=np.uint64)
-        keys = np.concatenate([keys.astype(np.uint64), misses])
-        rng.shuffle(keys)
+        burst = schedule.burst()
+        groups = None
+        if burst is not None:
+            # Bursty stream: Zipf keys with the schedule's burst overlay
+            # on a seed-derived (wall-clock-free) arrival timeline, cut
+            # into arrival groups — membership events now interleave
+            # with burst-sized batch swings instead of fixed chunks.
+            from ..serve.workload import arrival_groups, zipf_workload
+
+            rate = float(cfg.n_queries)  # stream spans ~1 simulated second
+            stream = zipf_workload(
+                reference, cfg.n_queries, s=1.1, seed=query_seed,
+                rate_qps=rate,
+                miss_fraction=cfg.miss_queries / max(cfg.n_queries, 1),
+                burst=burst,
+            )
+            keys = stream.keys
+            groups = arrival_groups(stream, tick=cfg.group_size / rate)
+        else:
+            rng = np.random.default_rng(query_seed)
+            n_hits = max(0, cfg.n_queries - cfg.miss_queries)
+            keys = rng.choice(reference.kmers, size=n_hits)
+            misses = rng.integers(0, 1 << 63, size=cfg.miss_queries,
+                                  dtype=np.uint64)
+            keys = np.concatenate([keys.astype(np.uint64), misses])
+            rng.shuffle(keys)
 
         error = None
         answers = router = None
@@ -372,6 +391,7 @@ class Simulation:
                 n_nodes=cfg.n_nodes, rf=cfg.rf, vnodes=cfg.vnodes,
                 seed=ring_seed, group_size=cfg.group_size,
                 router_config=RouterConfig(hedging=False),
+                groups=groups,
             )
         except Exception as exc:  # a legal script must never fail
             error = f"{type(exc).__name__}: {exc}"
@@ -382,6 +402,9 @@ class Simulation:
                            for e in schedule.membership],
             "error": error,
         }
+        if burst is not None:
+            events["burst"] = burst.to_doc()
+            events["n_groups"] = len(groups)
         if error is None:
             from ..cluster.bench import expected_counts
 

@@ -20,16 +20,21 @@ paper's heavy-hitter (L3) argument.
 """
 
 from .bench import ServeBenchResult, run_serve_bench
-from .cache import HotKeyCache
+from .cache import TIER_STORE, TIER_T1, TIER_T2, HotKeyCache, TieredCache
 from .engine import EngineConfig, Overloaded, QueryEngine, naive_serve, replay
 from .metrics import LatencyHistogram, ServeMetrics
 from .shards import Shard, ShardedStore
-from .workload import QueryWorkload, arrival_groups, zipf_workload
+from .workload import BurstSpec, QueryWorkload, arrival_groups, zipf_workload
 
 __all__ = [
     "Shard",
     "ShardedStore",
     "HotKeyCache",
+    "TieredCache",
+    "TIER_T1",
+    "TIER_T2",
+    "TIER_STORE",
+    "BurstSpec",
     "EngineConfig",
     "Overloaded",
     "QueryEngine",

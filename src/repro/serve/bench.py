@@ -25,11 +25,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.result import KmerCounts
-from .cache import HotKeyCache
+from .cache import HotKeyCache, TieredCache
 from .engine import EngineConfig, QueryEngine, naive_serve, replay
 from .metrics import ServeMetrics
 from .shards import ShardedStore
-from .workload import zipf_workload
+from .workload import BurstSpec, zipf_workload
 
 __all__ = ["ServeBenchResult", "run_serve_bench"]
 
@@ -78,9 +78,12 @@ def run_serve_bench(
     config: EngineConfig | None = None,
     cache_capacity: int = 4096,
     cache_threshold: int = 2,
+    t2_capacity: int = 0,
     group_size: int = 256,
     concurrency: int = 8,
     store: ShardedStore | None = None,
+    burst: BurstSpec | None = None,
+    recorder=None,
 ) -> ServeBenchResult:
     """Serve one Zipf stream naively and through the engine; compare.
 
@@ -88,23 +91,32 @@ def run_serve_bench(
     :class:`ShardedStore` (``n_shards``/``shard_of``/``lookup_batch``/
     ``get``) works — e.g. a live :class:`repro.lsm.LsmReadView` — while
     *counts* still seeds the workload's popularity ranking.
+    A non-zero *t2_capacity* upgrades the hot-key cache to a
+    :class:`TieredCache` (t1 = *cache_capacity* RAM slots over a
+    *t2_capacity* second tier); *recorder* (a
+    :class:`repro.trace.TraceRecorder`) logs the engine's query trace,
+    which is how any serve bench doubles as a trace producer.
     """
     config = config or EngineConfig()
     if store is None:
         store = ShardedStore.from_counts(counts, n_shards)
     stream = zipf_workload(
-        counts, n_queries, s=zipf_s, seed=seed, miss_fraction=miss_fraction
+        counts, n_queries, s=zipf_s, seed=seed, miss_fraction=miss_fraction,
+        burst=burst,
     )
 
     naive_out, naive_metrics = naive_serve(store, stream.keys)
 
     async def drive() -> tuple[np.ndarray, ServeMetrics]:
-        cache = (
-            HotKeyCache(cache_capacity, admit_threshold=cache_threshold)
-            if cache_capacity > 0
-            else None
-        )
-        async with QueryEngine(store, config, cache=cache) as engine:
+        if cache_capacity > 0 and t2_capacity > 0:
+            cache = TieredCache(cache_capacity, t2_capacity,
+                                admit_threshold=cache_threshold)
+        elif cache_capacity > 0:
+            cache = HotKeyCache(cache_capacity, admit_threshold=cache_threshold)
+        else:
+            cache = None
+        async with QueryEngine(store, config, cache=cache,
+                               recorder=recorder) as engine:
             out = await replay(
                 engine, stream.keys, group_size=group_size, concurrency=concurrency
             )

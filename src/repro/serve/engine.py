@@ -39,7 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .cache import HotKeyCache
+from .cache import TIER_STORE, TIER_T1, TIER_T2, HotKeyCache, TieredCache
 from .metrics import ServeMetrics
 from .shards import ShardedStore
 
@@ -97,13 +97,21 @@ class QueryEngine:
         store: ShardedStore,
         config: EngineConfig | None = None,
         *,
-        cache: HotKeyCache | None = None,
+        cache: HotKeyCache | TieredCache | None = None,
         metrics: ServeMetrics | None = None,
+        recorder=None,
     ):
         self.store = store
         self.config = config or EngineConfig()
         self.cache = cache
         self.metrics = metrics or ServeMetrics()
+        #: Optional :class:`repro.trace.TraceRecorder` (duck-typed:
+        #: anything with ``record_batch(keys, tiers)``); every admitted
+        #: query is logged with the tier that answered it.
+        self.recorder = recorder
+        self._tiered = isinstance(cache, TieredCache)
+        if cache is not None:
+            self.metrics.cache_source = cache
         self._queues: list[asyncio.Queue] = []
         self._workers: list[asyncio.Task] = []
         self._inflight = 0
@@ -179,11 +187,45 @@ class QueryEngine:
         out = np.zeros(n, dtype=np.int64)
 
         # Hot-key cache pass: answer the Zipf head without queueing.
-        if self.cache is not None:
-            cache_get = self.cache.get
+        cache = self.cache
+        virtual = 0.0
+        if cache is not None and (self._tiered or self.recorder is not None):
+            # Tier-attributed pass: the per-key hit tier feeds the
+            # trace recorder and the t2 latency charge.
+            tiers = np.full(n, TIER_STORE, dtype=np.int8)
+            cache_get = cache.get
+            miss_pos = []
+            n_t2 = 0
+            for i, key in enumerate(keys.tolist()):
+                value = cache_get(key)
+                if value is None:
+                    miss_pos.append(i)
+                elif self._tiered:
+                    out[i] = value
+                    tier = cache.last_tier
+                    tiers[i] = tier
+                    if tier == TIER_T2:
+                        n_t2 += 1
+                else:
+                    out[i] = value
+                    tiers[i] = TIER_T1
+            if n_t2:
+                # A t2 hit is not free: its device latency is charged
+                # as virtual seconds folded into the latency histogram,
+                # the way the cost model charges beta_link for remote
+                # PUTs.
+                virtual = n_t2 * cache.t2_latency
+                self.metrics.cache_t2_hits += n_t2
+                self.metrics.t2_time_charged += virtual
+            if self.recorder is not None:
+                self.recorder.record_batch(keys, tiers)
+        elif cache is not None:
+            cache_get = cache.get
             miss_pos = [i for i, key in enumerate(keys.tolist())
                         if self._cached(cache_get, key, out, i)]
         else:
+            if self.recorder is not None:
+                self.recorder.record_batch(keys, None)
             miss_pos = range(n)
         miss_idx = np.fromiter(miss_pos, dtype=np.int64)
         n_miss = int(miss_idx.size)
@@ -206,7 +248,7 @@ class QueryEngine:
             for pos, vals in zip(positions, answered):
                 out[pos] = vals
 
-        self.metrics.latency.record(time.perf_counter() - t0, weight=n)
+        self.metrics.latency.record(time.perf_counter() - t0 + virtual, weight=n)
         self.metrics.n_queries += n
         self.metrics.n_found += int((out > 0).sum())
         return out

@@ -112,6 +112,8 @@ class ServeMetrics:
     n_found: int = 0            # queries whose key existed in the database
     cache_hits: int = 0
     cache_misses: int = 0       # queries that had to touch a shard
+    cache_t2_hits: int = 0      # hits answered by a TieredCache's t2 tier
+    t2_time_charged: float = 0.0  # simulated seconds charged for t2 hits
     rejected: int = 0           # admission-control rejections (Overloaded)
     n_batches: int = 0          # vector lookups flushed by the engine
     batched_keys: int = 0       # keys answered by those flushes
@@ -119,6 +121,11 @@ class ServeMetrics:
     _queue_depth_sum: int = 0
     _queue_depth_samples: int = 0
     elapsed: float = 0.0        # wall-clock seconds of the measured run
+    #: The live cache object (anything with ``stats()``), attached by
+    #: the engine so snapshots carry the full counter table —
+    #: occupancy, evictions, per-tier hits — instead of only the
+    #: scalar hit rate.
+    cache_source: object | None = field(default=None, repr=False, compare=False)
     _delta_base: dict | None = field(default=None, repr=False)
 
     # -- recording -----------------------------------------------------
@@ -156,6 +163,19 @@ class ServeMetrics:
 
     # -- export --------------------------------------------------------
 
+    def _cache_doc(self) -> dict:
+        doc = {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "hit_rate": self.cache_hit_rate,
+        }
+        if self.cache_t2_hits:
+            doc["t2_hits"] = self.cache_t2_hits
+            doc["t2_time_charged_s"] = self.t2_time_charged
+        if self.cache_source is not None:
+            doc["stats"] = self.cache_source.stats()
+        return doc
+
     def snapshot(self) -> dict:
         """JSON-serialisable summary of the run."""
         return {
@@ -170,11 +190,7 @@ class ServeMetrics:
                 "max": self.latency.max_seen * 1e3,
                 "mean": self.latency.mean * 1e3,
             },
-            "cache": {
-                "hits": self.cache_hits,
-                "misses": self.cache_misses,
-                "hit_rate": self.cache_hit_rate,
-            },
+            "cache": self._cache_doc(),
             "batching": {
                 "batches": self.n_batches,
                 "batched_keys": self.batched_keys,
@@ -225,6 +241,17 @@ class ServeMetrics:
         n_queries = self.n_queries - base["n_queries"]
         hits = self.cache_hits - base["cache_hits"]
         misses = self.cache_misses - base["cache_misses"]
+        cache_doc = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        }
+        if self.cache_t2_hits:
+            cache_doc["t2_hits"] = self.cache_t2_hits - base.get("cache_t2_hits", 0)
+        if self.cache_source is not None:
+            # Occupancy/eviction state is instantaneous, not a rate:
+            # report the live table alongside the windowed counters.
+            cache_doc["stats"] = self.cache_source.stats()
         doc = {
             "window_s": window,
             "n_queries": n_queries,
@@ -236,11 +263,7 @@ class ServeMetrics:
                 "p99": win.quantile(0.99) * 1e3,
                 "mean": win.mean * 1e3,
             },
-            "cache": {
-                "hits": hits,
-                "misses": misses,
-                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
-            },
+            "cache": cache_doc,
             "rejected": self.rejected - base["rejected"],
             "rejected_qps": (self.rejected - base["rejected"]) / window
             if window > 0 else 0.0,
@@ -254,6 +277,7 @@ class ServeMetrics:
             "n_found": self.n_found,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_t2_hits": self.cache_t2_hits,
             "rejected": self.rejected,
         }
         return doc

@@ -23,7 +23,83 @@ import numpy as np
 
 from ..core.result import KmerCounts
 
-__all__ = ["QueryWorkload", "zipf_workload", "arrival_groups"]
+__all__ = ["BurstSpec", "QueryWorkload", "zipf_workload", "arrival_groups"]
+
+
+@dataclass(frozen=True)
+class BurstSpec:
+    """Periodic rate bursts layered over the open-loop arrivals.
+
+    The Cydonia ``BurstWorkload`` shape: every *period* seconds the
+    request rate multiplies by *amplitude* for *duration* seconds,
+    then relaxes back to the base open-loop rate.  The overlay is a
+    deterministic time-warp of the Poisson arrival sequence (the
+    time-change theorem for inhomogeneous Poisson processes), so the
+    same seed still yields the same stream — and :mod:`repro.dst` can
+    carry the three numbers as Schedule fields and fuzz them.
+    """
+
+    amplitude: float = 4.0  # rate multiplier inside a burst (>= 1)
+    duration: float = 0.05  # seconds of burst per period
+    period: float = 0.5     # seconds from burst start to burst start
+    phase: float = 0.0      # offset of the first burst start
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 1.0:
+            raise ValueError("burst amplitude must be >= 1")
+        if not 0.0 <= self.duration <= self.period:
+            raise ValueError("need 0 <= duration <= period")
+        if self.period <= 0:
+            raise ValueError("burst period must be > 0")
+        if self.phase < 0:
+            raise ValueError("burst phase must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """Does the overlay change the stream at all?"""
+        return self.amplitude > 1.0 and self.duration > 0.0
+
+    def in_burst(self, t: np.ndarray) -> np.ndarray:
+        """Boolean mask: which times fall inside a burst window."""
+        t = np.asarray(t, dtype=np.float64)
+        return (t >= self.phase) & (((t - self.phase) % self.period)
+                                    < self.duration)
+
+    def to_doc(self) -> dict:
+        return {"amplitude": self.amplitude, "duration": self.duration,
+                "period": self.period, "phase": self.phase}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "BurstSpec":
+        return cls(amplitude=float(doc["amplitude"]),
+                   duration=float(doc["duration"]),
+                   period=float(doc["period"]),
+                   phase=float(doc.get("phase", 0.0)))
+
+
+def _burst_warp(arrivals: np.ndarray, spec: BurstSpec) -> np.ndarray:
+    """Warp homogeneous Poisson arrivals into the bursty process.
+
+    If ``T`` are Poisson points at the base rate and ``M(s)`` is the
+    cumulative rate multiplier (slope *amplitude* inside burst
+    windows, 1 outside), then ``M^{-1}(T)`` are Poisson points with
+    instantaneous rate ``base_rate * m(s)`` — exact, vectorised, and
+    order-preserving.
+    """
+    if arrivals.size == 0 or not spec.active:
+        return arrivals
+    t_max = float(arrivals[-1])
+    # m >= 1 everywhere implies M(s) >= s, so covering t_max in the
+    # warped domain needs at most t_max of unwarped time.
+    n_periods = int(t_max / spec.period) + 2
+    starts = spec.phase + spec.period * np.arange(n_periods, dtype=np.float64)
+    bp = np.unique(np.concatenate([[0.0], starts, starts + spec.duration]))
+    mids = (bp[:-1] + bp[1:]) / 2.0
+    slope = np.where(spec.in_burst(mids), spec.amplitude, 1.0)
+    cum = np.concatenate([[0.0], np.cumsum(np.diff(bp) * slope)])
+    idx = np.clip(np.searchsorted(cum, arrivals, side="right") - 1,
+                  0, slope.size - 1)
+    return bp[idx] + (arrivals - cum[idx]) / slope[idx]
 
 
 @dataclass(frozen=True)
@@ -34,6 +110,7 @@ class QueryWorkload:
     arrivals: np.ndarray  # float64 arrival times (seconds, non-decreasing)
     zipf_s: float
     seed: int
+    burst: BurstSpec | None = None
 
     @property
     def n_queries(self) -> int:
@@ -60,6 +137,7 @@ def zipf_workload(
     rate_qps: float = 100_000.0,
     miss_fraction: float = 0.0,
     max_support: int = 200_000,
+    burst: BurstSpec | None = None,
 ) -> QueryWorkload:
     """Generate a Zipf(s) query stream over a counted database.
 
@@ -69,7 +147,9 @@ def zipf_workload(
     * *miss_fraction* of queries ask for keys absent from the
       database (uniform over the k-mer space), exercising the
       negative-lookup path.
-    * Arrivals are an open-loop Poisson process at *rate_qps*.
+    * Arrivals are an open-loop Poisson process at *rate_qps*; an
+      optional :class:`BurstSpec` overlays periodic rate bursts
+      (amplitude x the base rate inside each burst window).
     """
     if n_queries < 0:
         raise ValueError("n_queries must be >= 0")
@@ -101,7 +181,10 @@ def zipf_workload(
 
     gaps = rng.exponential(1.0 / rate_qps, size=n_queries)
     arrivals = np.cumsum(gaps)
-    return QueryWorkload(keys=keys, arrivals=arrivals, zipf_s=s, seed=seed)
+    if burst is not None:
+        arrivals = _burst_warp(arrivals, burst)
+    return QueryWorkload(keys=keys, arrivals=arrivals, zipf_s=s, seed=seed,
+                         burst=burst)
 
 
 def _absent_keys(counts: KmerCounts, n: int, rng: np.random.Generator) -> np.ndarray:

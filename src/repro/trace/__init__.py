@@ -1,0 +1,72 @@
+"""repro.trace — query-trace capture, cache modelling, and replay.
+
+The serving stack (:mod:`repro.serve`, :mod:`repro.cluster`) answers
+query streams; this package turns those streams into artefacts you
+can model and re-run:
+
+* :mod:`repro.trace.format` — the ``(ts, stream, key, tier)`` record
+  and its versioned ``.npz`` on-disk format;
+* :mod:`repro.trace.recorder` — low-overhead in-process capture,
+  duck-typed into the engine and router hot paths;
+* :mod:`repro.trace.profiler` — Mattson reuse-distance profiling: one
+  Fenwick-tree pass yields the *exact* LRU miss-ratio curve at every
+  capacity;
+* :mod:`repro.trace.sampling` — SHARDS spatial sampling (hash-filter
+  keys, rescale capacities by 1/rate) and temporal windowing;
+* :mod:`repro.trace.replay` — deterministic replay: cache simulation
+  for model checking, full engine replay for bit-identical answers;
+* :mod:`repro.trace.bench` — the record→profile→sample→replay
+  experiment behind ``BENCH_trace.json``.
+
+See ``docs/TRACING.md`` for the design and the capacity-planning
+workflow it enables.
+"""
+
+from .bench import TraceBenchResult, run_trace_bench
+from .format import (
+    TIER_STORE,
+    TIER_T1,
+    TIER_T2,
+    TRACE_MAGIC,
+    TRACE_VERSION,
+    QueryTrace,
+    TraceFormatError,
+    load_trace,
+    save_trace,
+)
+from .profiler import RDHistogram, profile_trace, reuse_distances
+from .recorder import TraceRecorder
+from .replay import (
+    ReplayResult,
+    measured_miss_ratio_curve,
+    replay_trace,
+    simulate_cache,
+    trace_groups,
+)
+from .sampling import scaled_miss_ratio_curve, spatial_sample, temporal_sample
+
+__all__ = [
+    "TRACE_MAGIC",
+    "TRACE_VERSION",
+    "TIER_T1",
+    "TIER_T2",
+    "TIER_STORE",
+    "TraceFormatError",
+    "QueryTrace",
+    "save_trace",
+    "load_trace",
+    "TraceRecorder",
+    "reuse_distances",
+    "RDHistogram",
+    "profile_trace",
+    "spatial_sample",
+    "temporal_sample",
+    "scaled_miss_ratio_curve",
+    "simulate_cache",
+    "measured_miss_ratio_curve",
+    "trace_groups",
+    "ReplayResult",
+    "replay_trace",
+    "TraceBenchResult",
+    "run_trace_bench",
+]

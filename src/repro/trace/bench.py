@@ -1,0 +1,194 @@
+"""The trace experiment: record, model, sample, replay — one harness.
+
+Shared by ``dakc trace`` / ``dakc trace-bench`` and
+``benchmarks/bench_extension_trace.py`` (→ ``BENCH_trace.json``), one
+seeded end-to-end run with four claims under test:
+
+1. **Model exactness** (the Fig.-3-style curve): the Mattson
+   reuse-distance profile's predicted LRU miss-ratio curve matches a
+   brute-force LRU simulation of the recorded trace at every measured
+   capacity (error well under 2 percentage points — it is exact up to
+   the shared arithmetic).
+2. **Sampling fidelity**: a SHARDS spatial sample at ``sample_rate``
+   reproduces the full-trace miss-ratio curve within
+   ``sample_tolerance`` after 1/rate capacity scaling.
+3. **Replay fidelity**: replaying the recorded trace through a fresh
+   engine over the same store returns bit-identical answers.
+4. **Tiering wins**: at equal t1 RAM, the two-tier cache's total hit
+   rate beats the single-tier cache's on the Zipf+burst workload
+   (the demoted head is caught by t2 instead of falling to the store).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.result import KmerCounts
+from ..serve.bench import run_serve_bench
+from ..serve.cache import HotKeyCache, TieredCache
+from ..serve.shards import ShardedStore
+from ..serve.workload import BurstSpec
+from .format import QueryTrace
+from .profiler import profile_trace
+from .recorder import TraceRecorder
+from .replay import measured_miss_ratio_curve, replay_trace, simulate_cache
+from .sampling import pooled_miss_ratio_curve, spatial_sample
+
+__all__ = ["TraceBenchResult", "run_trace_bench"]
+
+
+@dataclass(frozen=True)
+class TraceBenchResult:
+    """Outcome of one record→profile→sample→replay run."""
+
+    trace_summary: dict
+    capacities: np.ndarray
+    predicted_miss: np.ndarray     # Mattson model
+    measured_miss: np.ndarray      # brute-force LRU simulation
+    sampled_miss: np.ndarray       # SHARDS sample, capacity-rescaled
+    sample_rate: float
+    replay_answers_match: bool
+    single_tier: dict              # simulate_cache ledger, HotKeyCache
+    two_tier: dict                 # simulate_cache ledger, TieredCache
+    seed: int
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def model_error_pp(self) -> float:
+        """Max |predicted - measured| miss ratio, percentage points."""
+        if not self.capacities.size:
+            return 0.0
+        return float(np.abs(self.predicted_miss - self.measured_miss).max()) * 100.0
+
+    @property
+    def sample_error_pp(self) -> float:
+        """Max |sampled - measured| miss ratio, percentage points."""
+        if not self.capacities.size:
+            return 0.0
+        return float(np.abs(self.sampled_miss - self.measured_miss).max()) * 100.0
+
+    @property
+    def tiering_gain(self) -> float:
+        """Two-tier hit rate minus single-tier hit rate (same t1 RAM)."""
+        return self.two_tier["hit_rate"] - self.single_tier["hit_rate"]
+
+    def to_doc(self) -> dict:
+        """Machine-readable record (``BENCH_trace.json``)."""
+        return {
+            "experiment": "trace-bench",
+            "seed": self.seed,
+            "trace": self.trace_summary,
+            "miss_ratio_curve": {
+                "capacities": self.capacities.tolist(),
+                "predicted": self.predicted_miss.tolist(),
+                "measured": self.measured_miss.tolist(),
+                "sampled": self.sampled_miss.tolist(),
+                "sample_rate": self.sample_rate,
+                "model_error_pp": self.model_error_pp,
+                "sample_error_pp": self.sample_error_pp,
+            },
+            "replay": {"answers_match": self.replay_answers_match},
+            "tiering": {
+                "single_tier": self.single_tier,
+                "two_tier": self.two_tier,
+                "gain": self.tiering_gain,
+            },
+            "ok": {
+                "model_error_le_2pp": self.model_error_pp <= 2.0,
+                "replay_bit_identical": self.replay_answers_match,
+                "two_tier_beats_single": self.tiering_gain > 0.0,
+            },
+            **self.extras,
+        }
+
+
+def _capacity_grid(n_distinct: int, requested) -> np.ndarray:
+    if requested is not None:
+        return np.unique(np.asarray(requested, dtype=np.int64))
+    # Sub-working-set capacities: where the curve actually bends.
+    grid = np.geomspace(16, max(n_distinct, 32), num=8)
+    return np.unique(np.round(grid).astype(np.int64))
+
+
+def run_trace_bench(
+    counts: KmerCounts,
+    *,
+    n_queries: int = 30_000,
+    n_shards: int = 8,
+    zipf_s: float = 1.1,
+    seed: int = 0,
+    capacities=None,
+    sample_rate: float = 0.5,
+    sample_salts: int = 4,
+    t1_capacity: int = 128,
+    t2_capacity: int = 4096,
+    cache_threshold: int = 2,
+    burst: BurstSpec | None = None,
+    trace: QueryTrace | None = None,
+) -> TraceBenchResult:
+    """Record a Zipf+burst trace, model it, sample it, replay it.
+
+    Pass a pre-recorded *trace* to skip the capture stage and model /
+    replay an existing file (the ``dakc trace profile`` path reuses
+    this).  Everything downstream of the key sequence is deterministic
+    in the seed.
+    """
+    if burst is None:
+        burst = BurstSpec()
+    store = ShardedStore.from_counts(counts, n_shards)
+
+    if trace is None:
+        recorder = TraceRecorder(k=counts.k, seed=seed,
+                                 source=f"trace-bench seed={seed}")
+        run_serve_bench(
+            counts, n_queries=n_queries, n_shards=n_shards, zipf_s=zipf_s,
+            seed=seed, store=store, burst=burst, recorder=recorder,
+            cache_capacity=t1_capacity, cache_threshold=cache_threshold,
+            t2_capacity=t2_capacity,
+        )
+        trace = recorder.snapshot()
+
+    # -- model: predicted vs. measured LRU miss-ratio curve ------------
+    profile = profile_trace(trace)
+    caps = _capacity_grid(profile.histogram.n_distinct, capacities)
+    predicted = profile.histogram.miss_ratio_curve(caps)
+    measured = measured_miss_ratio_curve(trace.keys, caps)
+
+    # -- sampling: SHARDS spatial samples, pooled + capacity-rescaled --
+    sampled_trace = spatial_sample(trace, sample_rate)
+    sampled = pooled_miss_ratio_curve(trace, sample_rate, caps,
+                                      salts=sample_salts)
+
+    # -- replay: bit-identical answers through a fresh engine ----------
+    replayed = replay_trace(
+        trace, store, cache_capacity=t1_capacity,
+        cache_threshold=cache_threshold, t2_capacity=t2_capacity,
+    )
+
+    # -- tiering: equal t1 RAM, with vs. without a second tier ---------
+    single = simulate_cache(
+        trace.keys, HotKeyCache(t1_capacity, admit_threshold=cache_threshold))
+    tiered = simulate_cache(
+        trace.keys, TieredCache(t1_capacity, t2_capacity,
+                                admit_threshold=cache_threshold))
+
+    return TraceBenchResult(
+        trace_summary=trace.describe(),
+        capacities=caps,
+        predicted_miss=predicted,
+        measured_miss=measured,
+        sampled_miss=sampled,
+        sample_rate=sample_rate,
+        replay_answers_match=replayed.answers_match,
+        single_tier=single,
+        two_tier=tiered,
+        seed=seed,
+        extras={
+            "burst": burst.to_doc(),
+            "t1_capacity": t1_capacity,
+            "t2_capacity": t2_capacity,
+            "sampled_records": sampled_trace.n_records,
+        },
+    )

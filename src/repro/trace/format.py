@@ -1,0 +1,213 @@
+"""Query-trace records and their on-disk format.
+
+A trace is the raw material of cache modelling: one record per served
+query — ``(ts, stream, key, tier)`` — in arrival order, where *tier*
+says which layer answered (t1 RAM cache, t2 second tier, or the
+sharded store on a miss).  The reuse-distance profiler
+(:mod:`repro.trace.profiler`) needs only the key sequence; the replay
+engine (:mod:`repro.trace.replay`) also uses the timestamps to rebuild
+arrival groups, and the tier column lets recorded and replayed cache
+behaviour be diffed.
+
+On disk a trace is a compressed ``.npz`` with the four column arrays
+plus a JSON header carrying a magic string, a format version, and the
+provenance fields (k, seed, source).  Loads are defensive: a truncated
+or non-trace file raises :class:`TraceFormatError` instead of a bare
+``zipfile``/``KeyError``, and a version from the future is refused
+rather than misread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..serve.cache import TIER_STORE, TIER_T1, TIER_T2
+
+__all__ = [
+    "TRACE_MAGIC",
+    "TRACE_VERSION",
+    "TIER_T1",
+    "TIER_T2",
+    "TIER_STORE",
+    "TraceFormatError",
+    "QueryTrace",
+    "save_trace",
+    "load_trace",
+]
+
+TRACE_MAGIC = "dakc-query-trace"
+TRACE_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """The file is not a readable dakc query trace."""
+
+
+@dataclass(frozen=True, eq=False)
+class QueryTrace:
+    """One captured query stream (column-oriented, arrival order)."""
+
+    ts: np.ndarray       # float64 seconds since trace start, non-decreasing
+    streams: np.ndarray  # int32 tenant/stream id per record
+    keys: np.ndarray     # uint64 query keys
+    tiers: np.ndarray    # int8 answering tier (TIER_T1/TIER_T2/TIER_STORE)
+    k: int = 0           # k-mer length of the keyspace (0 = unknown)
+    seed: int = 0        # workload seed, when the trace came from a generator
+    source: str = ""     # free-form provenance ("serve-bench seed=0", a path)
+    meta: dict = field(default_factory=dict)  # extra JSON-able provenance
+
+    def __post_init__(self) -> None:
+        n = self.ts.size
+        for name in ("streams", "keys", "tiers"):
+            if getattr(self, name).size != n:
+                raise ValueError(f"column {name!r} length != ts length")
+
+    @property
+    def n_records(self) -> int:
+        return int(self.ts.size)
+
+    @property
+    def duration(self) -> float:
+        """Span of the arrival timeline (seconds)."""
+        return float(self.ts[-1] - self.ts[0]) if self.ts.size else 0.0
+
+    def unique_fraction(self) -> float:
+        """Distinct keys / records — low means a cache-friendly trace."""
+        if not self.keys.size:
+            return 0.0
+        return np.unique(self.keys).size / self.keys.size
+
+    def tier_counts(self) -> dict:
+        """Records answered per tier, as recorded."""
+        return {
+            "t1": int((self.tiers == TIER_T1).sum()),
+            "t2": int((self.tiers == TIER_T2).sum()),
+            "store": int((self.tiers == TIER_STORE).sum()),
+        }
+
+    def window(self, t0: float, t1: float) -> "QueryTrace":
+        """The sub-trace with ``t0 <= ts < t1`` (temporal slicing)."""
+        mask = (self.ts >= t0) & (self.ts < t1)
+        return self.select(mask)
+
+    def select(self, mask: np.ndarray) -> "QueryTrace":
+        """A sub-trace keeping the records where *mask* is True."""
+        return QueryTrace(
+            ts=self.ts[mask], streams=self.streams[mask],
+            keys=self.keys[mask], tiers=self.tiers[mask],
+            k=self.k, seed=self.seed, source=self.source, meta=dict(self.meta),
+        )
+
+    def same_records(self, other: "QueryTrace") -> bool:
+        """Column-wise equality of the records (provenance ignored)."""
+        return (bool(np.array_equal(self.ts, other.ts))
+                and bool(np.array_equal(self.streams, other.streams))
+                and bool(np.array_equal(self.keys, other.keys))
+                and bool(np.array_equal(self.tiers, other.tiers)))
+
+    def describe(self) -> dict:
+        """JSON-friendly summary (the `dakc trace profile` header)."""
+        return {
+            "n_records": self.n_records,
+            "n_distinct": int(np.unique(self.keys).size),
+            "duration_s": self.duration,
+            "unique_fraction": self.unique_fraction(),
+            "tiers": self.tier_counts(),
+            "k": self.k,
+            "seed": self.seed,
+            "source": self.source,
+        }
+
+
+def _normalised(trace: QueryTrace) -> QueryTrace:
+    """Columns coerced to the canonical dtypes (pre-save hygiene)."""
+    return QueryTrace(
+        ts=np.ascontiguousarray(trace.ts, dtype=np.float64),
+        streams=np.ascontiguousarray(trace.streams, dtype=np.int32),
+        keys=np.ascontiguousarray(trace.keys, dtype=np.uint64),
+        tiers=np.ascontiguousarray(trace.tiers, dtype=np.int8),
+        k=int(trace.k), seed=int(trace.seed), source=str(trace.source),
+        meta=dict(trace.meta),
+    )
+
+
+def save_trace(path: str | os.PathLike, trace: QueryTrace) -> None:
+    """Write a trace as a compressed ``.npz`` with a JSON header."""
+    trace = _normalised(trace)
+    header = {
+        "magic": TRACE_MAGIC,
+        "version": TRACE_VERSION,
+        "n_records": trace.n_records,
+        "k": trace.k,
+        "seed": trace.seed,
+        "source": trace.source,
+        "meta": trace.meta,
+    }
+    header_blob = np.frombuffer(
+        json.dumps(header, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(
+        path, header=header_blob, ts=trace.ts, streams=trace.streams,
+        keys=trace.keys, tiers=trace.tiers,
+    )
+
+
+def load_trace(path: str | os.PathLike) -> QueryTrace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises :class:`TraceFormatError` on anything that is not a
+    complete, current-version trace file: truncated archives, foreign
+    ``.npz`` files, versions from the future.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            try:
+                header_blob = archive["header"]
+            except KeyError as exc:
+                raise TraceFormatError(
+                    f"{path}: no trace header (not a dakc trace)") from exc
+            try:
+                header = json.loads(bytes(header_blob.tobytes()).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise TraceFormatError(f"{path}: unreadable trace header") from exc
+            if header.get("magic") != TRACE_MAGIC:
+                raise TraceFormatError(
+                    f"{path}: bad magic {header.get('magic')!r}")
+            version = header.get("version")
+            if version != TRACE_VERSION:
+                raise TraceFormatError(
+                    f"{path}: trace format version {version!r} "
+                    f"(this build reads version {TRACE_VERSION})")
+            try:
+                columns = {name: archive[name]
+                           for name in ("ts", "streams", "keys", "tiers")}
+            except KeyError as exc:
+                raise TraceFormatError(
+                    f"{path}: missing trace column {exc}") from exc
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
+        # numpy reports a non-archive file as a pickle ValueError; our
+        # own diagnostics (TraceFormatError is a ValueError) pass through.
+        if isinstance(exc, (FileNotFoundError, TraceFormatError)):
+            raise
+        raise TraceFormatError(f"{path}: truncated or corrupt trace file "
+                               f"({type(exc).__name__}: {exc})") from exc
+    trace = QueryTrace(
+        ts=columns["ts"].astype(np.float64, copy=False),
+        streams=columns["streams"].astype(np.int32, copy=False),
+        keys=columns["keys"].astype(np.uint64, copy=False),
+        tiers=columns["tiers"].astype(np.int8, copy=False),
+        k=int(header.get("k", 0)),
+        seed=int(header.get("seed", 0)),
+        source=str(header.get("source", "")),
+        meta=dict(header.get("meta", {})),
+    )
+    if trace.n_records != int(header.get("n_records", trace.n_records)):
+        raise TraceFormatError(
+            f"{path}: header says {header['n_records']} records, "
+            f"columns hold {trace.n_records}")
+    return trace

@@ -1,0 +1,190 @@
+"""Mattson reuse-distance profiling: exact LRU curves in one pass.
+
+The classic stack-algorithm result (Mattson et al., 1970): for an LRU
+cache, an access hits at capacity ``c`` iff its *reuse distance* — the
+number of **distinct** keys touched since the previous access to the
+same key — is strictly less than ``c``.  LRU has the inclusion
+property, so one pass over the trace yields the exact hit count at
+*every* capacity simultaneously: histogram the reuse distances, and
+``hits(c) = sum(hist[d] for d < c)``.
+
+Distances are computed with a Fenwick tree (binary indexed tree) over
+access positions: when key ``x`` is re-accessed at position ``i`` and
+was last seen at position ``p``, the number of distinct keys in
+between is the number of *still-current* last-access marks in
+``(p, i)`` — a prefix-sum query.  O(n log n) total, pure numpy-backed
+Python, no recursion.
+
+First-sight accesses (cold misses) have infinite distance; they are
+counted separately in :class:`RDHistogram` and never hit at any
+capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .format import QueryTrace
+
+__all__ = ["reuse_distances", "RDHistogram", "profile_trace"]
+
+COLD = -1  # sentinel distance for first-sight accesses
+
+
+def reuse_distances(keys: np.ndarray) -> np.ndarray:
+    """Exact reuse distance per access (``COLD`` for first sight).
+
+    ``out[i]`` is the number of distinct keys accessed strictly
+    between the previous access to ``keys[i]`` and position ``i``
+    (exclusive on both ends), or ``COLD`` if ``keys[i]`` was never
+    seen before.  An immediate re-access has distance 0.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    n = keys.size
+    out = np.full(n, COLD, dtype=np.int64)
+    if n == 0:
+        return out
+    # Fenwick tree over positions 1..n: tree[j] counts current
+    # last-access marks in j's range.  A key's mark moves forward on
+    # every re-access, so at step i the marks in (p, i) are exactly
+    # the distinct keys touched since p.
+    tree = np.zeros(n + 1, dtype=np.int64)
+    last: dict[int, int] = {}
+
+    def add(pos: int, delta: int) -> None:
+        while pos <= n:
+            tree[pos] += delta
+            pos += pos & (-pos)
+
+    def prefix(pos: int) -> int:
+        s = 0
+        while pos > 0:
+            s += tree[pos]
+            pos -= pos & (-pos)
+        return int(s)
+
+    for i, key in enumerate(keys.tolist()):
+        p = last.get(key)
+        if p is not None:
+            # marks strictly inside (p, i), 1-based tree positions
+            out[i] = prefix(i) - prefix(p + 1)
+            add(p + 1, -1)
+        last[key] = i
+        add(i + 1, 1)
+    return out
+
+
+@dataclass(frozen=True)
+class RDHistogram:
+    """Reuse-distance histogram + the exact LRU curves it implies."""
+
+    counts: np.ndarray  # counts[d] = accesses with reuse distance d
+    cold: int           # first-sight accesses (infinite distance)
+
+    @property
+    def n_accesses(self) -> int:
+        return int(self.counts.sum()) + self.cold
+
+    @property
+    def n_distinct(self) -> int:
+        """Distinct keys in the profiled trace (= cold misses)."""
+        return self.cold
+
+    def predicted_hits(self, capacity: int) -> int:
+        """Exact LRU hit count at *capacity* (Mattson: hit iff d < c)."""
+        if capacity <= 0:
+            return 0
+        return int(self.counts[: min(capacity, self.counts.size)].sum())
+
+    def predicted_hit_rate(self, capacity: int) -> float:
+        n = self.n_accesses
+        return self.predicted_hits(capacity) / n if n else 0.0
+
+    def miss_ratio_curve(self, capacities) -> np.ndarray:
+        """Exact LRU miss ratio at each capacity, vectorised.
+
+        ``misses(c) = cold + sum(hist[d] for d >= c)`` — one cumsum
+        serves every capacity (the Mattson one-pass payoff).
+        """
+        caps = np.asarray(capacities, dtype=np.int64)
+        n = self.n_accesses
+        if n == 0:
+            return np.zeros(caps.shape, dtype=np.float64)
+        hits_below = np.concatenate([[0], np.cumsum(self.counts)])
+        idx = np.clip(caps, 0, self.counts.size)
+        hits = hits_below[idx]
+        return (n - hits) / n
+
+    def merge(self, other: "RDHistogram") -> "RDHistogram":
+        """Pointwise sum (e.g. per-stream histograms → fleet curve)."""
+        size = max(self.counts.size, other.counts.size)
+        counts = np.zeros(size, dtype=np.int64)
+        counts[: self.counts.size] += self.counts
+        counts[: other.counts.size] += other.counts
+        return RDHistogram(counts=counts, cold=self.cold + other.cold)
+
+    def to_doc(self) -> dict:
+        """JSON record; the sparse tail is run-length trimmed."""
+        nz = np.flatnonzero(self.counts)
+        return {
+            "cold": self.cold,
+            "n_accesses": self.n_accesses,
+            "distances": nz.tolist(),
+            "counts": self.counts[nz].tolist(),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "RDHistogram":
+        distances = np.asarray(doc["distances"], dtype=np.int64)
+        size = int(distances[-1]) + 1 if distances.size else 0
+        counts = np.zeros(size, dtype=np.int64)
+        counts[distances] = np.asarray(doc["counts"], dtype=np.int64)
+        return cls(counts=counts, cold=int(doc["cold"]))
+
+    @classmethod
+    def from_distances(cls, distances: np.ndarray) -> "RDHistogram":
+        """Histogram an array produced by :func:`reuse_distances`."""
+        distances = np.asarray(distances, dtype=np.int64)
+        cold = int((distances == COLD).sum())
+        finite = distances[distances != COLD]
+        if finite.size == 0:
+            return cls(counts=np.zeros(0, dtype=np.int64), cold=cold)
+        counts = np.bincount(finite).astype(np.int64)
+        return cls(counts=counts, cold=cold)
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """A profiled trace: histogram + the capacities worth reporting."""
+
+    histogram: RDHistogram
+    capacities: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+
+    def to_doc(self) -> dict:
+        mrc = self.histogram.miss_ratio_curve(self.capacities)
+        return {
+            "histogram": self.histogram.to_doc(),
+            "capacities": self.capacities.tolist(),
+            "miss_ratio": mrc.tolist(),
+            "hit_ratio": (1.0 - mrc).tolist(),
+        }
+
+
+def default_capacities(n_distinct: int, points: int = 16) -> np.ndarray:
+    """Log-spaced capacity grid from 1 up past the working set."""
+    if n_distinct <= 1:
+        return np.array([1], dtype=np.int64)
+    grid = np.geomspace(1, max(n_distinct, 2), num=points)
+    return np.unique(np.round(grid).astype(np.int64))
+
+
+def profile_trace(trace: QueryTrace, capacities=None) -> TraceProfile:
+    """Reuse-distance-profile a trace's key sequence."""
+    hist = RDHistogram.from_distances(reuse_distances(trace.keys))
+    if capacities is None:
+        caps = default_capacities(hist.n_distinct)
+    else:
+        caps = np.asarray(capacities, dtype=np.int64)
+    return TraceProfile(histogram=hist, capacities=caps)

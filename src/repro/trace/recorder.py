@@ -1,0 +1,128 @@
+"""Low-overhead in-process query-trace capture.
+
+The recorder is the write side of :mod:`repro.trace.format`: the
+serve engine and the cluster router hand it whole key batches on their
+hot path, and it appends ``(ts, stream, key, tier)`` rows into chunked
+numpy buffers — no per-record Python object, no I/O until
+:meth:`TraceRecorder.snapshot`.  The hook is duck-typed on purpose:
+anything with ``record_batch(keys, tiers)`` can stand in (the serve
+layer never imports this module).
+
+Timestamps come from a monotonic clock rebased to the first record, so
+a trace always starts at ``ts == 0`` and is host-epoch-free.  Replay
+and profiling only care about relative spacing anyway.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..serve.cache import TIER_STORE
+from .format import QueryTrace, save_trace
+
+__all__ = ["TraceRecorder"]
+
+_CHUNK = 65_536
+
+
+class TraceRecorder:
+    """Appends query batches to an in-memory columnar trace.
+
+    Parameters
+    ----------
+    k:
+        k-mer length of the keyspace, carried into the trace header.
+    seed:
+        workload seed (provenance only).
+    source:
+        free-form provenance string (e.g. ``"serve-bench"``).
+    clock:
+        0-arg callable returning seconds; defaults to
+        :func:`time.monotonic`.  Tests and replay inject a virtual
+        clock here to make recorded timestamps deterministic.
+    """
+
+    def __init__(self, *, k: int = 0, seed: int = 0, source: str = "",
+                 clock=None) -> None:
+        self.k = int(k)
+        self.seed = int(seed)
+        self.source = str(source)
+        self._clock = clock if clock is not None else time.monotonic
+        self._chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        self._t0: float | None = None
+        self._n = 0
+
+    @property
+    def n_records(self) -> int:
+        return self._n
+
+    def record_batch(self, keys, tiers=None, *, ts=None, stream: int = 0) -> None:
+        """Append one served batch.
+
+        *keys* is any uint64-coercible array; *tiers* is a same-length
+        int8 array of answering tiers, or ``None`` when the caller has
+        no cache (everything is charged to the store).  *ts* overrides
+        the wall-clock stamp with explicit per-record times (replay and
+        synthetic traces); otherwise the whole batch shares one
+        monotonic timestamp — batches ARE the arrival granularity on
+        the serving hot path.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = keys.size
+        if n == 0:
+            return
+        if tiers is None:
+            tiers = np.full(n, TIER_STORE, dtype=np.int8)
+        else:
+            tiers = np.asarray(tiers, dtype=np.int8)
+            if tiers.size != n:
+                raise ValueError("tiers length != keys length")
+        if ts is None:
+            now = float(self._clock())
+            if self._t0 is None:
+                self._t0 = now
+            ts_col = np.full(n, now - self._t0, dtype=np.float64)
+        else:
+            ts_col = np.asarray(ts, dtype=np.float64)
+            if ts_col.ndim == 0:
+                ts_col = np.full(n, float(ts_col), dtype=np.float64)
+            elif ts_col.size != n:
+                raise ValueError("ts length != keys length")
+        streams = np.full(n, int(stream), dtype=np.int32)
+        self._chunks.append((ts_col, streams, keys.copy(), tiers.copy()))
+        self._n += n
+        if len(self._chunks) >= _CHUNK // 64:
+            self._coalesce()
+
+    def _coalesce(self) -> None:
+        """Fold the accumulated small batches into one chunk."""
+        if len(self._chunks) <= 1:
+            return
+        merged = tuple(np.concatenate(cols)
+                       for cols in zip(*self._chunks, strict=True))
+        self._chunks = [merged]
+
+    def snapshot(self) -> QueryTrace:
+        """The trace captured so far (recording can continue after)."""
+        self._coalesce()
+        if not self._chunks:
+            empty = lambda dt: np.empty(0, dtype=dt)  # noqa: E731
+            ts, streams, keys, tiers = (empty(np.float64), empty(np.int32),
+                                        empty(np.uint64), empty(np.int8))
+        else:
+            ts, streams, keys, tiers = (col.copy() for col in self._chunks[0])
+        return QueryTrace(ts=ts, streams=streams, keys=keys, tiers=tiers,
+                          k=self.k, seed=self.seed, source=self.source)
+
+    def save(self, path) -> QueryTrace:
+        """Snapshot and write to *path*; returns the snapshot."""
+        trace = self.snapshot()
+        save_trace(path, trace)
+        return trace
+
+    def clear(self) -> None:
+        self._chunks.clear()
+        self._t0 = None
+        self._n = 0

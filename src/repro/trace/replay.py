@@ -1,0 +1,204 @@
+"""Deterministic trace replay: recorded streams back through the stack.
+
+Two replay modes, increasing in fidelity:
+
+* :func:`simulate_cache` — the *model-checking* mode: drive just a
+  cache object (``get``/``offer``) with the trace's key sequence, one
+  record at a time, and count what it would have hit.  With a
+  :class:`~repro.serve.cache.HotKeyCache` at ``admit_threshold=1``
+  this is an exact LRU simulation — the measured side of the
+  predicted-vs-measured miss-ratio comparison.
+
+* :func:`replay_trace` — the *system* mode: rebuild the trace's
+  arrival groups from its timestamps and push them through a real
+  :class:`~repro.serve.engine.QueryEngine` over a sharded store,
+  exactly like the live benchmarks do.  Answers are checked
+  bit-identical against the scalar baseline, so a recorded workload
+  becomes a reproducible integration test.
+
+The trace carries only keys and times; the store being replayed
+against supplies the answers.  Replaying the same trace against the
+same store is therefore deterministic in the *answers* even though
+wall-clock latencies vary run to run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..serve.cache import HotKeyCache, TieredCache
+from ..serve.engine import EngineConfig, Overloaded, QueryEngine, naive_serve
+from ..serve.metrics import ServeMetrics
+from .format import QueryTrace
+
+__all__ = [
+    "simulate_cache",
+    "measured_miss_ratio_curve",
+    "trace_groups",
+    "ReplayResult",
+    "replay_trace",
+]
+
+
+def simulate_cache(keys: np.ndarray, cache) -> dict:
+    """Sequentially drive *cache* with *keys*; return its hit ledger.
+
+    One ``get`` per record; on a miss the key is ``offer``-ed back
+    (value = 1, a stand-in count — the simulation cares about
+    residency, not answers).  Works for any cache with the
+    ``get``/``offer``/``stats`` trio, including :class:`TieredCache`.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    get = cache.get
+    offer = cache.offer
+    hits = 0
+    for key in keys.tolist():
+        if get(key) is None:
+            offer(key, 1)
+        else:
+            hits += 1
+    n = int(keys.size)
+    return {
+        "n_accesses": n,
+        "hits": hits,
+        "misses": n - hits,
+        "hit_rate": hits / n if n else 0.0,
+        "stats": cache.stats(),
+    }
+
+
+def measured_miss_ratio_curve(keys: np.ndarray, capacities) -> np.ndarray:
+    """Brute-force LRU miss ratio at each capacity.
+
+    One fresh ``HotKeyCache(c, admit_threshold=1)`` — exact classic
+    LRU — per capacity, driven over the full key sequence.  This is
+    the ground truth the Mattson profile is checked against; O(n) per
+    capacity where the profiler is O(n log n) for *all* capacities.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    out = np.empty(len(capacities), dtype=np.float64)
+    for j, cap in enumerate(capacities):
+        sim = simulate_cache(keys, HotKeyCache(int(cap), admit_threshold=1))
+        out[j] = sim["misses"] / sim["n_accesses"] if sim["n_accesses"] else 0.0
+    return out
+
+
+def trace_groups(trace: QueryTrace, tick: float = 1e-3) -> list[np.ndarray]:
+    """Rebuild arrival groups from the trace's timestamps.
+
+    Mirrors :func:`repro.serve.workload.arrival_groups`: records whose
+    timestamps land in the same *tick*-second slot replay as one
+    concurrent batch.
+    """
+    if tick <= 0:
+        raise ValueError("tick must be > 0")
+    if not trace.keys.size:
+        return []
+    slot = (trace.ts // tick).astype(np.int64)
+    bounds = np.flatnonzero(np.diff(slot)) + 1
+    return np.split(trace.keys, bounds)
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of one engine replay of a recorded trace."""
+
+    answers: np.ndarray
+    metrics: ServeMetrics
+    n_groups: int
+    answers_match: bool  # vs. the scalar naive baseline (when checked)
+
+    def to_doc(self) -> dict:
+        return {
+            "n_records": int(self.answers.size),
+            "n_groups": self.n_groups,
+            "answers_match": self.answers_match,
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+def replay_trace(
+    trace: QueryTrace,
+    store,
+    *,
+    config: EngineConfig | None = None,
+    cache=None,
+    cache_capacity: int = 4096,
+    cache_threshold: int = 2,
+    t2_capacity: int = 0,
+    tick: float = 1e-3,
+    group_size: int = 256,
+    concurrency: int = 8,
+    recorder=None,
+    check: bool = True,
+) -> ReplayResult:
+    """Replay a recorded trace through a fresh engine over *store*.
+
+    The trace's timestamps set the batching (arrival-tick groups of
+    *tick* seconds); up to *concurrency* groups are in flight at once.
+    *cache* overrides the default cache construction (pass ``None``
+    explicitly via ``cache_capacity=0`` for uncached replay); a
+    non-zero *t2_capacity* selects a :class:`TieredCache`.  With
+    *check* the answers are verified bit-identical against the scalar
+    baseline.  *recorder* re-records the replayed stream, which is how
+    a replay round-trips a trace.
+    """
+    config = config or EngineConfig()
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    groups = trace_groups(trace, tick=tick)
+    # A fast recording compresses many records into one tick (and a
+    # recorded batch shares one timestamp), so a tick group can dwarf
+    # both the original client batches and the admission bound.  Cap
+    # groups at *group_size* so replay preserves the original batching
+    # scale and Overloaded retries can't livelock on an unadmittable
+    # group.
+    cap = min(group_size, max(config.max_inflight // 4, 1))
+    groups = [part for g in groups
+              for part in np.array_split(g, max(1, -(-g.size // cap)))]
+
+    if cache is None and cache_capacity > 0:
+        if t2_capacity > 0:
+            cache = TieredCache(cache_capacity, t2_capacity,
+                                admit_threshold=cache_threshold)
+        else:
+            cache = HotKeyCache(cache_capacity, admit_threshold=cache_threshold)
+
+    async def drive() -> tuple[np.ndarray, ServeMetrics]:
+        async with QueryEngine(store, config, cache=cache,
+                               recorder=recorder) as engine:
+            results: list[np.ndarray | None] = [None] * len(groups)
+            gate = asyncio.Semaphore(concurrency)
+
+            async def one(i: int, group: np.ndarray) -> None:
+                async with gate:
+                    while True:
+                        try:
+                            results[i] = await engine.query_many(group)
+                            return
+                        except Overloaded:
+                            # Open-loop replay must answer every
+                            # record (bit-identical check); back off
+                            # one batch window and resubmit.
+                            await asyncio.sleep(config.batch_window or 1e-4)
+
+            t_start = time.perf_counter()
+            await asyncio.gather(*(one(i, g) for i, g in enumerate(groups)))
+            engine.metrics.elapsed = time.perf_counter() - t_start
+            out = (np.concatenate(results) if results
+                   else np.empty(0, dtype=np.int64))
+            return out, engine.metrics
+
+    answers, metrics = asyncio.run(drive())
+
+    if check:
+        baseline, _ = naive_serve(store, trace.keys)
+        answers_match = bool(np.array_equal(answers, baseline))
+    else:
+        answers_match = True
+    return ReplayResult(answers=answers, metrics=metrics,
+                        n_groups=len(groups), answers_match=answers_match)

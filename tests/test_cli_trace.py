@@ -1,0 +1,128 @@
+"""End-to-end tests for the `dakc trace` command family."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps.store import save_counts
+from repro.cli import main
+from repro.core.serial import serial_count
+from repro.trace import load_trace
+
+
+@pytest.fixture(scope="module")
+def db(tmp_path_factory, small_reads):
+    path = tmp_path_factory.mktemp("tracedb") / "db.npz"
+    save_counts(path, serial_count(small_reads, 15))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory, db):
+    path = tmp_path_factory.mktemp("trace") / "t.npz"
+    # 6k queries = ~24 concurrent client groups: enough for later
+    # groups to hit the cache the earlier groups populated.
+    rc = main(["trace", "record", "--database", db, "--queries", "6000",
+               "--shards", "4", "--t2-capacity", "1024",
+               "--burst-amplitude", "4", "--out", str(path)])
+    assert rc == 0
+    return str(path)
+
+
+class TestRecord:
+    def test_record_writes_a_loadable_trace(self, recorded, db):
+        trace = load_trace(recorded)
+        assert trace.n_records == 6000
+        assert trace.k == 15
+        assert np.all(np.diff(trace.ts) >= 0)
+        # The tiered engine attributed answers across all three layers.
+        tiers = trace.tier_counts()
+        assert tiers["t1"] > 0 and tiers["store"] > 0
+        assert sum(tiers.values()) == 6000
+
+
+class TestProfile:
+    def test_profile_prints_the_curve(self, recorded, capsys):
+        rc = main(["trace", "profile", recorded])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted-miss" in out
+
+    def test_profile_measure_reports_near_zero_model_error(
+            self, recorded, tmp_path, capsys):
+        doc_path = tmp_path / "profile.json"
+        rc = main(["trace", "profile", recorded, "--measure",
+                   "--capacities", "4,32,256", "--json", str(doc_path)])
+        assert rc == 0
+        doc = json.loads(doc_path.read_text())
+        assert doc["capacities"] == [4, 32, 256]
+        assert len(doc["miss_ratio"]) == 3
+        # The Mattson model is exact against brute-force LRU.
+        assert doc["model_error_pp"] <= 1e-6
+
+    def test_profile_rejects_non_trace_files(self, db, capsys):
+        rc = main(["trace", "profile", db])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSample:
+    def test_spatial_sample_with_check(self, recorded, tmp_path, capsys):
+        out = tmp_path / "sampled.npz"
+        rc = main(["trace", "sample", recorded, "--rate", "0.5",
+                   "--check", "--out", str(out)])
+        assert rc == 0
+        sampled = load_trace(out)
+        full = load_trace(recorded)
+        assert 0 < sampled.n_records < full.n_records
+        assert sampled.meta["sample"]["kind"] == "spatial"
+        assert "miss-ratio error" in capsys.readouterr().out
+
+    def test_temporal_sample(self, recorded, tmp_path):
+        out = tmp_path / "windowed.npz"
+        rc = main(["trace", "sample", recorded, "--window", "0.001",
+                   "--every", "0.004", "--out", str(out)])
+        assert rc == 0
+        assert load_trace(out).meta["sample"]["kind"] == "temporal"
+
+    def test_sample_requires_exactly_one_mode(self, recorded, tmp_path, capsys):
+        out = tmp_path / "x.npz"
+        assert main(["trace", "sample", recorded, "--out", str(out)]) == 2
+        assert main(["trace", "sample", recorded, "--rate", "0.5",
+                     "--window", "0.1", "--every", "1.0",
+                     "--out", str(out)]) == 2
+
+
+class TestReplay:
+    def test_replay_is_bit_identical(self, recorded, db, tmp_path, capsys):
+        doc_path = tmp_path / "replay.json"
+        rc = main(["trace", "replay", recorded, "--database", db,
+                   "--shards", "4", "--json", str(doc_path)])
+        assert rc == 0
+        doc = json.loads(doc_path.read_text())
+        assert doc["answers_match"] is True
+        assert doc["n_records"] == 6000
+        assert "bit-identical to scalar oracle: True" in capsys.readouterr().out
+
+
+class TestBenchTraceOut:
+    def test_serve_bench_records_a_trace(self, db, tmp_path, capsys):
+        out = tmp_path / "serve.npz"
+        rc = main(["serve-bench", "--database", db, "--queries", "1500",
+                   "--shards", "4", "--trace-out", str(out)])
+        assert rc == 0
+        assert load_trace(out).n_records == 1500
+
+    def test_cluster_bench_records_a_trace(self, db, tmp_path, capsys):
+        out = tmp_path / "cluster.npz"
+        rc = main(["cluster-bench", "--database", db, "--queries", "800",
+                   "--cluster-nodes", "3", "--repeats", "1",
+                   "--trace-out", str(out)])
+        assert rc == 0
+        trace = load_trace(out)
+        assert trace.n_records == 800
+        # The router has no cache: every record charged to the store.
+        assert trace.tier_counts()["store"] == 800
