@@ -1,0 +1,114 @@
+"""Extension bench: out-of-core counting under a memory ceiling (repro.ooc).
+
+The acceptance scenario of the out-of-core subsystem, measured:
+
+* **the dataset does not fit** — the encoded read set is >= 10x the
+  configured memory ceiling (which also sizes the fused store's
+  memtable budget), so pass 1 *must* spill and pass 2 *must* reread;
+* **bit-identical anyway** — both the merged out-of-core result and
+  the fused LSM store's snapshot equal the in-memory oracle
+  (``serial_count``) exactly;
+* **disk traffic is charged** — bytes spilled and reread are recorded
+  and priced at beta_disk on the laptop preset, the same virtual-time
+  currency the link model uses.
+
+The run emits ``benchmarks/results/BENCH_ooc.json``.  Under ``--quick``
+the workload shrinks but every exactness and >=10x assertion stays.
+"""
+
+import json
+import time
+
+from repro.bench.workloads import build_workload
+from repro.core.serial import serial_count
+from repro.lsm import LsmConfig, LsmStore
+from repro.ooc import OocStats, ooc_count
+from repro.runtime.cost import CostModel
+from repro.runtime.machine import laptop
+from repro.runtime.stats import PEStats
+
+from _common import RESULTS_DIR
+
+K = 21
+N_BINS = 32
+OVERCOMMIT = 16  # dataset bytes / memory ceiling (>= the 10x floor)
+
+
+def test_extension_ooc_count_and_serve(benchmark, quick, tmp_path):
+    budget = 30_000 if quick else 200_000
+    w = build_workload("synthetic-24", K, budget_kmers=budget)
+    reads = [w.reads[i] for i in range(w.reads.shape[0])]
+    dataset_bytes = sum(r.size for r in reads)  # encoded: 1 byte/base
+    ceiling = max(4096, dataset_bytes // OVERCOMMIT)
+    assert dataset_bytes >= 10 * ceiling
+
+    def run():
+        doc = {
+            "dataset_bytes": dataset_bytes,
+            "ceiling_bytes": ceiling,
+            "overcommit": dataset_bytes / ceiling,
+            "n_bins": N_BINS,
+        }
+
+        t0 = time.perf_counter()
+        oracle = serial_count(reads, K)
+        doc["in_memory_seconds"] = time.perf_counter() - t0
+
+        stats = OocStats()
+        pe = PEStats(0)
+        cost = CostModel(laptop())
+        store = LsmStore(tmp_path / "db", K,
+                         config=LsmConfig(memtable_bytes=ceiling))
+        t0 = time.perf_counter()
+        counts = ooc_count(reads, K, n_bins=N_BINS, memory_bytes=ceiling,
+                           workdir=tmp_path / "bins", store=store,
+                           cost=cost, pe_stats=pe, stats=stats)
+        doc["ooc_seconds"] = time.perf_counter() - t0
+        snapshot = store.snapshot()
+        doc["counts_exact"] = counts == oracle
+        doc["store_exact"] = snapshot == oracle
+        doc["store"] = {
+            "bulk_loads": store.stats.bulk_loads,
+            "flushes": store.stats.flushes,
+            "compactions": store.stats.compactions,
+            "runs": store.n_runs,
+        }
+        store.close()
+
+        m = cost.machine
+        doc["spill"] = stats.to_doc()
+        doc["disk"] = {
+            "beta_disk_gbps": m.beta_disk / 1e9,
+            "bytes_written": pe.disk_bytes_written,
+            "bytes_read": pe.disk_bytes_read,
+            "charged_seconds": pe.disk_ops * m.disk_latency
+            + (pe.disk_bytes_written + pe.disk_bytes_read) / cost.pe_disk_bw,
+        }
+        doc["n_distinct"] = oracle.n_distinct
+        doc["total_kmers"] = oracle.total
+        return doc
+
+    doc = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Bit-identical counts, served both ways.
+    assert doc["counts_exact"], "out-of-core result differs from oracle"
+    assert doc["store_exact"], "fused LSM store differs from oracle"
+    # The ceiling really bit: multiple flush waves, real disk traffic,
+    # and pass 2 reread exactly what pass 1 spilled.
+    spill = doc["spill"]
+    assert spill["n_ceiling_hits"] >= 2, spill
+    assert spill["bytes_spilled"] > 0
+    assert spill["bytes_reread"] == spill["bytes_spilled"]
+    assert doc["disk"]["bytes_written"] == spill["bytes_spilled"]
+    assert doc["disk"]["charged_seconds"] > 0
+    # The store flushed under the shared budget (count-and-serve, not
+    # one giant memtable).
+    assert doc["store"]["flushes"] >= 1
+
+    if quick:
+        return  # smoke mode: don't overwrite the recorded numbers
+    doc["experiment"] = "ooc-count"
+    doc["dataset"] = f"synthetic-24 replica (k={K}, {budget // 1000}k k-mer budget)"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_ooc.json"
+    out.write_text(json.dumps(doc, indent=2) + "\n")

@@ -276,6 +276,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_cpt.add_argument("--flush", action="store_true",
                        help="flush the memtable to a run first")
 
+    p_ooc = sub.add_parser(
+        "ooc-count",
+        help="two-pass out-of-core count under a hard memory ceiling "
+             "(repro.ooc)",
+    )
+    ooc_src = p_ooc.add_mutually_exclusive_group(required=True)
+    ooc_src.add_argument("--input", help="FASTA/FASTQ file to count")
+    ooc_src.add_argument("--dataset", help="Table V dataset key to count "
+                         "as a generated replica")
+    p_ooc.add_argument("-k", type=int, default=31, help="k-mer length")
+    p_ooc.add_argument("-w", type=int, default=None,
+                       help="minimizer length (default min(k, 7))")
+    p_ooc.add_argument("--n-bins", type=int, default=64,
+                       help="minimizer-partitioned spill bins")
+    p_ooc.add_argument("--memory-mb", type=float, default=1.0,
+                       help="hard memory ceiling for pass-1 buffering "
+                            "(and the fused store's memtable budget)")
+    p_ooc.add_argument("--budget", type=int, default=100_000,
+                       help="replica k-mer budget when using --dataset")
+    p_ooc.add_argument("--seed", type=int, default=0,
+                       help="replica seed when using --dataset")
+    p_ooc.add_argument("--canonical", action="store_true",
+                       help="count canonical (strand-folded) k-mers")
+    p_ooc.add_argument("--store", default=None,
+                       help="fuse counted bins into this LSM store directory")
+    p_ooc.add_argument("--workdir", default=None,
+                       help="spill-bin directory (default: private tempdir)")
+    p_ooc.add_argument("--keep-bins", action="store_true",
+                       help="leave spill bins on disk after pass 2")
+    p_ooc.add_argument("--machine", default="laptop",
+                       help="machine preset pricing the disk traffic "
+                            "(phoenix-intel|phoenix-amd|laptop)")
+    p_ooc.add_argument("--verify", action="store_true",
+                       help="recount in memory and assert bit-identical "
+                            "results (small inputs only)")
+    p_ooc.add_argument("--json", default=None,
+                       help="write the run report here")
+
     p_dst = sub.add_parser(
         "dst",
         help="deterministic simulation testing: fuzz schedules, replay "
@@ -704,6 +742,101 @@ def _cmd_ingest(args) -> int:
               f"{info['wal']['nbytes']:,} bytes")
         print(f"# total occurrences: {store.total:,}")
     return 0
+
+
+def _cmd_ooc_count(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .api import resolve_machine
+    from .ooc import OocStats, ooc_count
+    from .runtime.cost import CostModel
+    from .runtime.stats import PEStats
+
+    k = args.k
+    if args.dataset:
+        from .bench.workloads import build_workload
+
+        w = build_workload(args.dataset, k, budget_kmers=args.budget,
+                           seed=args.seed)
+        reads = [w.reads[i] for i in range(w.reads.shape[0])]
+        source = args.dataset
+    else:
+        from .seq.encoding import encode_seq
+        from .seq.fastx import read_fastx
+
+        reads = [encode_seq(rec.seq, validate=False)
+                 for rec in read_fastx(args.input)]
+        source = args.input
+
+    ceiling = int(args.memory_mb * (1 << 20))
+    cost = CostModel(resolve_machine(args.machine, 1))
+    pe = PEStats(0)
+    stats = OocStats()
+
+    store = None
+    if args.store is not None:
+        from .lsm import LsmConfig, LsmStore
+
+        store = LsmStore(args.store, k, config=LsmConfig(
+            memtable_bytes=ceiling, canonical=args.canonical))
+    try:
+        counts = ooc_count(
+            reads, k, w=args.w, n_bins=args.n_bins, memory_bytes=ceiling,
+            workdir=args.workdir, canonical=args.canonical, store=store,
+            cost=cost, pe_stats=pe, stats=stats, keep_bins=args.keep_bins)
+        store_doc = None
+        if store is not None:
+            store.flush()
+            store.compact()
+            store_doc = store.describe()
+    finally:
+        if store is not None:
+            store.close()
+
+    verified = None
+    if args.verify:
+        from .core.serial import serial_count
+
+        verified = counts == serial_count(reads, k, canonical=args.canonical)
+
+    m = cost.machine
+    disk_time = (pe.disk_ops * m.disk_latency
+                 + (pe.disk_bytes_written + pe.disk_bytes_read)
+                 / cost.pe_disk_bw)
+    print(f"# source:     {source}  ({stats.n_reads:,} reads, "
+          f"{stats.n_kmers:,} k-mers, k={k})")
+    print(f"# ceiling:    {ceiling:,} bytes "
+          f"(peak buffered {stats.peak_buffered_bytes:,}, "
+          f"{stats.n_ceiling_hits} ceiling hits)")
+    print(f"# pass 1:     {stats.n_superkmers:,} super-k-mers into "
+          f"{stats.n_bins_used} bins, {stats.n_flushes} flushes")
+    print(f"# disk:       {stats.bytes_spilled:,} B spilled, "
+          f"{stats.bytes_reread:,} B reread "
+          f"(beta_disk {m.beta_disk / 1e9:.1f} GB/s -> "
+          f"{disk_time * 1e3:.3f} ms charged)")
+    print(f"# result:     {counts.n_distinct:,} distinct, "
+          f"{counts.total:,} occurrences")
+    if store_doc is not None:
+        print(f"# store:      {args.store}  "
+              f"({store_doc['stats']['bulk_loads']} bulk loads, "
+              f"{store_doc['stats']['flushes']} flushes, "
+              f"{store_doc['stats']['compactions']} compactions, "
+              f"{len(store_doc['runs'])} runs)")
+    if verified is not None:
+        print(f"# verify:     {'bit-identical to in-memory count' if verified else 'MISMATCH vs in-memory count'}")
+    if args.json:
+        doc = {
+            "source": source, "k": k, "n_bins": args.n_bins,
+            "ceiling_bytes": ceiling, "machine": args.machine,
+            "spill": stats.to_doc(),
+            "disk_time_s": disk_time,
+            "n_distinct": counts.n_distinct, "total": counts.total,
+            "store": store_doc, "verified": verified,
+        }
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json).write_text(_json.dumps(doc, indent=2) + "\n")
+    return 0 if verified in (None, True) else 1
 
 
 def _cmd_compact(args) -> int:
@@ -1171,6 +1304,7 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "cluster-bench": _cmd_cluster_bench,
     "ingest": _cmd_ingest,
+    "ooc-count": _cmd_ooc_count,
     "compact": _cmd_compact,
     "dst": _cmd_dst,
     "trace": _cmd_trace,

@@ -28,6 +28,13 @@ prose, made executable:
 ``cache-no-stale``
     A serving cache subscribed to the store never returns a
     pre-ingest count.
+``ooc-exact``
+    Out-of-core counting — whatever spill interleaving the schedule
+    forces — produces the oracle multiset, both as the merged result
+    and through the fused LSM store.
+``spill-conservation``
+    Pass 2 rereads exactly the bytes pass 1 spilled: no bin lost, none
+    read twice.
 ``ring-rf``
     Every routing-table row names exactly RF distinct live-ring
     members.
@@ -152,6 +159,28 @@ def _cache_no_stale(ctx: dict) -> str | None:
     return f"cache served {stale} pre-ingest count(s) after updates"
 
 
+def _ooc_exact(ctx: dict) -> str | None:
+    if ctx.get("error") is not None:
+        return f"out-of-core count crashed: {ctx['error']}"
+    if not ctx.get("counts_match", True):
+        return ("out-of-core multiset != serial oracle "
+                f"({ctx.get('n_distinct', '?')} distinct counted vs "
+                f"{ctx.get('oracle_distinct', '?')} expected)")
+    if not ctx.get("store_match", True):
+        return "fused LSM store != serial oracle after out-of-core ingest"
+    return None
+
+
+def _spill_conservation(ctx: dict) -> str | None:
+    if ctx.get("error") is not None:
+        return None  # ooc-exact already reports the crash
+    spilled = ctx.get("bytes_spilled", 0)
+    reread = ctx.get("bytes_reread", 0)
+    if spilled == reread:
+        return None
+    return f"spilled {spilled} bytes but pass 2 reread {reread}"
+
+
 def _ring_rf(ctx: dict) -> str | None:
     if ctx.get("rf_ok", True):
         return None
@@ -176,6 +205,9 @@ def default_registry() -> InvariantRegistry:
     registry.register(Invariant("monotone-acks", "runtime", _monotone_acks))
     registry.register(Invariant("wal-recovery", "lsm", _wal_recovery))
     registry.register(Invariant("cache-no-stale", "lsm", _cache_no_stale))
+    registry.register(Invariant("ooc-exact", "ooc", _ooc_exact))
+    registry.register(Invariant("spill-conservation", "ooc",
+                                _spill_conservation))
     registry.register(Invariant("ring-rf", "cluster", _ring_rf))
     registry.register(Invariant("cluster-exact", "cluster", _cluster_exact))
     return registry

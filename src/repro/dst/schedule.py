@@ -47,6 +47,10 @@ class Schedule:
     #: Permutation streams for the actor runtime (exact mode only).
     mailbox_seed: int | None = None
     step_seed: int | None = None
+    #: Permutation stream for out-of-core spill: which bins flush when
+    #: the memory ceiling is hit, and the pass-2 bin counting order
+    #: (None = the production largest-first / ascending policy).
+    spill_seed: int | None = None
     #: Wire/straggler fault plan (None = healthy fabric).
     plan: FaultPlan | None = None
     #: LSM crash point to arm, and on which traversal it fires.
@@ -98,6 +102,7 @@ class Schedule:
             "drain_seed": self.drain_seed,
             "mailbox_seed": self.mailbox_seed,
             "step_seed": self.step_seed,
+            "spill_seed": self.spill_seed,
             "plan": None if self.plan is None else self.plan.to_doc(),
             "crash_point": self.crash_point,
             "crash_nth": self.crash_nth,
@@ -119,6 +124,7 @@ class Schedule:
             drain_seed=doc.get("drain_seed"),
             mailbox_seed=doc.get("mailbox_seed"),
             step_seed=doc.get("step_seed"),
+            spill_seed=doc.get("spill_seed"),
             plan=None if plan is None else FaultPlan.from_doc(plan),
             crash_point=doc.get("crash_point"),
             crash_nth=int(doc.get("crash_nth", 1)),
@@ -140,6 +146,8 @@ class Schedule:
             parts.append("drain-permuted")
         if self.mailbox_seed is not None or self.step_seed is not None:
             parts.append("actor-permuted")
+        if self.spill_seed is not None:
+            parts.append("spill-permuted")
         if self.plan is not None and not self.plan.benign:
             parts.append(self.plan.describe())
         if self.crash_point is not None:
@@ -209,6 +217,7 @@ class ScheduleFuzzer:
             burst_amplitude = float(rng.uniform(2.0, 8.0))
             burst_period = float(rng.uniform(0.1, 0.5))
             burst_duration = float(burst_period * rng.uniform(0.1, 0.6))
+        spill_seed = int(rng.integers(1 << 63)) if rng.random() < 0.5 else None
         return Schedule(
             seed=child,
             mode=mode,
@@ -217,6 +226,7 @@ class ScheduleFuzzer:
             drain_seed=drain_seed,
             mailbox_seed=mailbox_seed,
             step_seed=step_seed,
+            spill_seed=spill_seed,
             plan=plan,
             crash_point=crash_point,
             crash_nth=crash_nth,

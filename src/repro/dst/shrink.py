@@ -95,6 +95,7 @@ def _simplify_schedule(sim: Simulation, schedule: Schedule,
         {"crash_point": None, "crash_nth": 1},
         {"membership": ()},
         {"drain_seed": None},
+        {"spill_seed": None},
         {"mailbox_seed": None, "step_seed": None},
         {"mode": "fast", "mailbox_seed": None, "step_seed": None},
         {"protocol": "1D"},

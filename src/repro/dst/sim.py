@@ -1,12 +1,14 @@
 """The seeded Simulation: one schedule in, one trajectory out.
 
-Runs a schedule through the three stateful layers of the stack —
+Runs a schedule through the four stateful layers of the stack —
 
 * **runtime**: ``dakc_count`` on the simulated machine under the
   schedule's fault plan, wire ordering and actor interleaving;
 * **lsm**: durable ingest of the same reads through an
   :class:`~repro.lsm.store.LsmStore` with the schedule's crash point
   armed, then a recovery reopen;
+* **ooc**: the same reads counted out-of-core under the schedule's
+  spill interleaving, fused into a second LSM store;
 * **cluster**: the counted database served through a replicated
   router while the schedule's membership script churns nodes —
 
@@ -72,6 +74,9 @@ class SimConfig:
     memtable_bytes: int = 2048  # tiny: forces flushes (and crash windows)
     max_runs: int = 2           # tiny: forces compactions
     cache_capacity: int = 16
+    # ooc layer
+    ooc_bins: int = 4
+    ooc_ceiling: int = 768  # tiny: forces multi-wave spill interleavings
     # cluster layer
     n_nodes: int = 4
     rf: int = 2
@@ -90,7 +95,9 @@ class SimConfig:
             "nodes": self.nodes, "cores_per_node": self.cores_per_node,
             "max_rounds": self.max_rounds, "n_batches": self.n_batches,
             "memtable_bytes": self.memtable_bytes, "max_runs": self.max_runs,
-            "cache_capacity": self.cache_capacity, "n_nodes": self.n_nodes,
+            "cache_capacity": self.cache_capacity,
+            "ooc_bins": self.ooc_bins, "ooc_ceiling": self.ooc_ceiling,
+            "n_nodes": self.n_nodes,
             "rf": self.rf, "vnodes": self.vnodes,
             "n_queries": self.n_queries, "group_size": self.group_size,
             "miss_queries": self.miss_queries,
@@ -353,6 +360,67 @@ class Simulation:
         }
         return ctx, events
 
+    def _run_ooc(self, schedule: Schedule, reads: list[np.ndarray],
+                 reference, workdir: str | Path) -> tuple[dict, dict]:
+        """Out-of-core count the reads under the schedule's spill order.
+
+        Both the merged result and the fused LSM store must equal the
+        serial oracle whatever interleaving the spill seed forces, and
+        pass 2 must reread exactly the bytes pass 1 spilled.
+        """
+        cfg = self.config
+        from ..ooc import OocStats, ooc_count, seeded_order
+
+        stats = OocStats()
+        flush_order = bin_order = None
+        if schedule.spill_seed is not None:
+            flush_child, bin_child = spawn_seeds(schedule.spill_seed, 2)
+            flush_order = seeded_order(flush_child)
+
+            def bin_order(ids, _seed=bin_child):
+                ids = sorted(int(i) for i in ids)
+                np.random.default_rng(_seed).shuffle(ids)
+                return ids
+
+        error = None
+        counts = None
+        snapshot = None
+        try:
+            store = LsmStore(Path(workdir) / "ooc", cfg.k,
+                             config=LsmConfig(memtable_bytes=cfg.ooc_ceiling,
+                                              max_runs=cfg.max_runs,
+                                              fan_in=cfg.max_runs))
+            try:
+                counts = ooc_count(
+                    reads, cfg.k, n_bins=cfg.ooc_bins,
+                    memory_bytes=cfg.ooc_ceiling,
+                    workdir=Path(workdir) / "ooc-bins",
+                    store=store, stats=stats,
+                    flush_order=flush_order, bin_order=bin_order)
+                snapshot = store.snapshot()
+            finally:
+                store.close()
+        except Exception as exc:  # any crash here is itself a violation
+            error = f"{type(exc).__name__}: {exc}"
+
+        ctx = {
+            "error": error,
+            "counts_match": None if counts is None else counts == reference,
+            "store_match": None if snapshot is None else snapshot == reference,
+            "oracle_distinct": int(reference.n_distinct),
+            "n_distinct": None if counts is None else int(counts.n_distinct),
+            "bytes_spilled": stats.bytes_spilled,
+            "bytes_reread": stats.bytes_reread,
+        }
+        events = {
+            "error": error,
+            "spill_permuted": schedule.spill_seed is not None,
+            "counts": None if counts is None else _counts_fingerprint(counts),
+            "store": None if snapshot is None else _counts_fingerprint(snapshot),
+            "spill": stats.to_doc(),
+        }
+        return ctx, events
+
     def _run_cluster(self, schedule: Schedule, reference) -> tuple[dict, dict]:
         cfg = self.config
         _, query_seed, ring_seed = spawn_seeds(schedule.seed, 3)
@@ -455,10 +523,15 @@ class Simulation:
             with tempfile.TemporaryDirectory(prefix="dakc-dst-") as tmp:
                 lsm_ctx, events["lsm"] = self._run_lsm(
                     schedule, reads, reference, tmp)
+                ooc_ctx, events["ooc"] = self._run_ooc(
+                    schedule, reads, reference, tmp)
         else:
             lsm_ctx, events["lsm"] = self._run_lsm(
                 schedule, reads, reference, workdir)
+            ooc_ctx, events["ooc"] = self._run_ooc(
+                schedule, reads, reference, workdir)
         violations += self.registry.check("lsm", lsm_ctx)
+        violations += self.registry.check("ooc", ooc_ctx)
 
         cluster_ctx, events["cluster"] = self._run_cluster(schedule, reference)
         violations += self.registry.check("cluster", cluster_ctx)

@@ -85,6 +85,7 @@ class LsmStats:
 
     records_ingested: int = 0
     batches_ingested: int = 0
+    bulk_loads: int = 0       # ingest_counts() calls (no WAL)
     replayed_batches: int = 0
     flushes: int = 0
     compactions: int = 0
@@ -103,6 +104,7 @@ class LsmStats:
         return {
             "records_ingested": self.records_ingested,
             "batches_ingested": self.batches_ingested,
+            "bulk_loads": self.bulk_loads,
             "replayed_batches": self.replayed_batches,
             "flushes": self.flushes,
             "compactions": self.compactions,
@@ -229,6 +231,36 @@ class LsmStore:
             if self.config.auto_compact:
                 self.compact()
         return len(batch)
+
+    def ingest_counts(self, keys: np.ndarray, vals: np.ndarray) -> int:
+        """Bulk-load a pre-counted ``(kmer, count)`` delta; returns pairs.
+
+        The fusion point of out-of-core counting: pass 2 of
+        :func:`repro.ooc.ooc_count` feeds each counted bin straight in
+        here, so flushes and compactions interleave with counting under
+        the memtable budget.  Unlike :meth:`ingest` this path writes no
+        WAL — the caller's spill bins (or source reads) are the durable
+        input, and a crash loses only deltas the caller can re-derive;
+        call :meth:`flush` afterwards to make the load durable.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        vals = np.asarray(vals, dtype=np.int64)
+        if keys.shape != vals.shape or keys.ndim != 1:
+            raise ValueError("keys and vals must be 1-D arrays of equal length")
+        if keys.size == 0:
+            return 0
+        if keys.size > 1 and not (keys[:-1] < keys[1:]).all():
+            self.memtable.add_pairs(keys, vals)   # unsorted/duplicated delta
+        else:
+            self.memtable.add_counts(keys, vals)
+        for listener in self._listeners:
+            listener(keys)
+        self.stats.bulk_loads += 1
+        if self.memtable.nbytes >= self.config.memtable_bytes:
+            self.flush()
+            if self.config.auto_compact:
+                self.compact()
+        return int(keys.size)
 
     def flush(self) -> Run | None:
         """Freeze the memtable into a new immutable run (if non-empty)."""

@@ -1,0 +1,205 @@
+"""Pass 1 of out-of-core counting: spill super-k-mers to disk bins.
+
+KMC 2's first pass, under a hard memory ceiling: reads stream through
+the :mod:`repro.seq` minimizer splitter, each super-k-mer is routed to
+the bin its minimizer hashes to (the same splitmix64 owner hash that
+shards everything else in this codebase), and bins buffer in memory
+until the ceiling is hit — then whole bins flush to disk as one
+checksummed chunk each.  Which bins flush, and in what order, is a
+pluggable policy: the default is largest-first (fewest, biggest
+chunks), and :mod:`repro.dst` injects seeded shuffles through the same
+hook to fuzz spill interleavings.
+
+Binning by *minimizer* rather than by k-mer keeps the ``k - w``
+overlapping k-mers of a super-k-mer together in one bin, which is what
+makes pass 2 embarrassingly parallel: each bin holds a closed multiset
+of k-mer occurrences (one occurrence lands in exactly one bin), so
+bins count independently and their results concatenate.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.owner import owner_pe
+from ..seq.minimizers import split_superkmers
+from .format import BinHeader, append_chunk, pack_superkmers, write_bin_header
+
+__all__ = ["OocStats", "BinWriter", "largest_first", "seeded_order"]
+
+# Buffered-memory estimate per pending super-k-mer: its unpacked codes
+# (1 byte/base) plus list/length bookkeeping.
+_RECORD_OVERHEAD = 8
+
+FlushOrder = Callable[[Sequence[tuple[int, int]]], list[int]]
+"""Flush policy: ``[(bin_id, pending_bytes), ...]`` -> bin ids, flush order."""
+
+
+def largest_first(pending: Sequence[tuple[int, int]]) -> list[int]:
+    """Default policy: flush the fattest bins first (fewest, biggest chunks)."""
+    return [b for b, _n in sorted(pending, key=lambda t: (-t[1], t[0]))]
+
+
+def seeded_order(seed: int) -> FlushOrder:
+    """A deterministic shuffled policy (the DST spill-interleaving hook)."""
+
+    def order(pending: Sequence[tuple[int, int]]) -> list[int]:
+        bins = sorted(b for b, _n in pending)
+        rng = np.random.default_rng(seed)
+        rng.shuffle(bins)
+        return bins
+
+    return order
+
+
+@dataclass(slots=True)
+class OocStats:
+    """Measured quantities of one out-of-core count (both passes)."""
+
+    n_reads: int = 0
+    n_superkmers: int = 0
+    n_kmers: int = 0
+    n_bins_used: int = 0
+    n_flushes: int = 0            # bin-flush events == chunks written
+    n_ceiling_hits: int = 0       # times the ceiling forced a flush wave
+    bytes_spilled: int = 0        # pass 1: written to bin files
+    bytes_reread: int = 0         # pass 2: read back from bin files
+    peak_buffered_bytes: int = 0  # high-water mark of pass-1 buffering
+
+    def to_doc(self) -> dict:
+        return {f: int(getattr(self, f)) for f in (
+            "n_reads", "n_superkmers", "n_kmers", "n_bins_used",
+            "n_flushes", "n_ceiling_hits", "bytes_spilled",
+            "bytes_reread", "peak_buffered_bytes")}
+
+
+class BinWriter:
+    """Bounded-memory writer of minimizer-partitioned spill bins.
+
+    Buffers super-k-mers per bin; when total buffered bytes exceed
+    *ceiling_bytes*, flushes whole bins (in *flush_order*) until
+    buffering drops to half the ceiling — hysteresis, so a flush wave
+    produces few large chunks instead of thrashing one record at a
+    time.  Bin files live in *directory* as ``bin-NNNNN.skb`` and
+    accumulate one chunk per flush.
+    """
+
+    def __init__(self, directory: str | os.PathLike, k: int, w: int,
+                 n_bins: int, *, ceiling_bytes: int,
+                 flush_order: FlushOrder | None = None,
+                 stats: OocStats | None = None):
+        if n_bins < 1:
+            raise ValueError("n_bins must be >= 1")
+        if ceiling_bytes < 1:
+            raise ValueError("ceiling_bytes must be >= 1")
+        self.dir = Path(directory)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.k = k
+        self.w = w
+        self.n_bins = n_bins
+        self.ceiling_bytes = ceiling_bytes
+        self.flush_order = flush_order or largest_first
+        self.stats = stats if stats is not None else OocStats()
+        self._pending: dict[int, list[np.ndarray]] = {}
+        self._pending_bytes: dict[int, int] = {}
+        self._buffered = 0
+        self._headers_written: set[int] = set()
+        self._closed = False
+
+    # -- pass-1 ingestion ----------------------------------------------
+
+    def add_read(self, codes: np.ndarray) -> int:
+        """Split one encoded read and buffer its super-k-mers.
+
+        Returns the number of k-mers the read contributed.  May trigger
+        a flush wave if the memory ceiling is crossed.
+        """
+        if self._closed:
+            raise ValueError("BinWriter is closed")
+        codes = np.asarray(codes, dtype=np.uint8)
+        sks = split_superkmers(codes, self.k, self.w)
+        self.stats.n_reads += 1
+        if not sks:
+            return 0
+        mins = np.array([sk.minimizer for sk in sks], dtype=np.uint64)
+        bins = owner_pe(mins, self.n_bins)
+        n_kmers = 0
+        for sk, b in zip(sks, bins):
+            b = int(b)
+            sub = codes[sk.start:sk.start + sk.n_bases].copy()
+            self._pending.setdefault(b, []).append(sub)
+            nbytes = sub.size + _RECORD_OVERHEAD
+            self._pending_bytes[b] = self._pending_bytes.get(b, 0) + nbytes
+            self._buffered += nbytes
+            n_kmers += sk.n_kmers(self.k)
+        self.stats.n_superkmers += len(sks)
+        self.stats.n_kmers += n_kmers
+        if self._buffered > self.stats.peak_buffered_bytes:
+            self.stats.peak_buffered_bytes = self._buffered
+        if self._buffered > self.ceiling_bytes:
+            self._flush_wave()
+        return n_kmers
+
+    def add_reads(self, reads: np.ndarray | list) -> int:
+        """Buffer a batch of reads (rows of a matrix or a list of arrays)."""
+        rows = list(reads) if isinstance(reads, np.ndarray) else reads
+        return sum(self.add_read(row) for row in rows)
+
+    # -- flushing ------------------------------------------------------
+
+    def bin_path(self, bin_id: int) -> Path:
+        return self.dir / f"bin-{bin_id:05d}.skb"
+
+    def _flush_bin(self, bin_id: int) -> int:
+        """Write one bin's pending super-k-mers as a chunk; returns bytes."""
+        sks = self._pending.pop(bin_id, [])
+        if not sks:
+            return 0
+        lengths, blob = pack_superkmers(sks)
+        path = self.bin_path(bin_id)
+        written = 0
+        if bin_id not in self._headers_written:
+            with open(path, "wb") as fh:
+                written += write_bin_header(
+                    fh, BinHeader(k=self.k, w=self.w, bin_id=bin_id))
+                written += append_chunk(fh, lengths, blob)
+            self._headers_written.add(bin_id)
+        else:
+            with open(path, "ab") as fh:
+                written += append_chunk(fh, lengths, blob)
+        self._buffered -= self._pending_bytes.pop(bin_id, 0)
+        self.stats.n_flushes += 1
+        self.stats.bytes_spilled += written
+        return written
+
+    def _flush_wave(self) -> None:
+        """Flush whole bins until buffering drops below half the ceiling."""
+        self.stats.n_ceiling_hits += 1
+        order = self.flush_order(
+            [(b, n) for b, n in sorted(self._pending_bytes.items())])
+        target = self.ceiling_bytes // 2
+        for b in order:
+            if self._buffered <= target:
+                break
+            self._flush_bin(b)
+
+    def close(self) -> list[Path]:
+        """Flush everything; returns the paths of all non-empty bins."""
+        if not self._closed:
+            for b in self.flush_order(
+                    [(b, n) for b, n in sorted(self._pending_bytes.items())]):
+                self._flush_bin(b)
+            self._closed = True
+        self.stats.n_bins_used = len(self._headers_written)
+        return [self.bin_path(b) for b in sorted(self._headers_written)]
+
+    def __enter__(self) -> "BinWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

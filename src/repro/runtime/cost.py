@@ -99,6 +99,7 @@ class CostModel:
         self.pe_ops = m.c_node * frac * eff
         self.pe_mem_bw = m.beta_mem * frac * eff
         self.pe_link_bw = m.beta_link * frac
+        self.pe_disk_bw = m.beta_disk * frac
         if self.dilation is not None:
             self.set_dilation(self.dilation)
 
@@ -156,6 +157,37 @@ class CostModel:
         pe.advance(dt)
         if self.tracer is not None:
             self.tracer.record(pe.pe, t0, pe.clock, "memory")
+        return dt
+
+    def charge_disk_write(self, pe: PEStats, nbytes: int, *, ops: int = 1) -> float:
+        """Charge an out-of-core spill write of *nbytes* (β_disk).
+
+        Disk traffic is priced like link traffic — a fixed per-I/O
+        latency plus a bandwidth term — so ``dakc`` can report bytes
+        spilled next to bytes sent in the same virtual-time currency.
+        *ops* is the number of physical I/O operations the bytes
+        arrived in (flushes); each pays the seek/syscall latency.
+        """
+        m = self.machine
+        dt = self._dilated(pe, ops * m.disk_latency + nbytes / self.pe_disk_bw)
+        pe.disk_bytes_written += int(nbytes)
+        pe.disk_ops += int(ops)
+        t0 = pe.clock
+        pe.advance(dt)
+        if self.tracer is not None:
+            self.tracer.record(pe.pe, t0, pe.clock, "disk-write")
+        return dt
+
+    def charge_disk_read(self, pe: PEStats, nbytes: int, *, ops: int = 1) -> float:
+        """Charge a pass-2 bin reread of *nbytes* (β_disk)."""
+        m = self.machine
+        dt = self._dilated(pe, ops * m.disk_latency + nbytes / self.pe_disk_bw)
+        pe.disk_bytes_read += int(nbytes)
+        pe.disk_ops += int(ops)
+        t0 = pe.clock
+        pe.advance(dt)
+        if self.tracer is not None:
+            self.tracer.record(pe.pe, t0, pe.clock, "disk-read")
         return dt
 
     def charge_put(self, src: PEStats, dst_pe: int, nbytes: int) -> float:

@@ -47,11 +47,18 @@ class MachineConfig:
     #: lets FA-BSP sources stream PUTs without stalling.
     tau_inject: float = 1.0e-7
     local_latency: float = 5.0e-8  # same-node "send" (memcpy) latency
+    #: Sequential disk bandwidth per node (bytes/s) — the β_disk the
+    #: out-of-core path charges for spill writes and rereads, exactly
+    #: as beta_link prices the wire.  Default is an NVMe-class 2 GB/s.
+    beta_disk: float = 2.0e9
+    #: Fixed per-I/O overhead (seek + syscall), charged once per
+    #: spill flush or bin read.
+    disk_latency: float = 1.0e-4
 
     def __post_init__(self) -> None:
         if self.nodes < 1 or self.sockets_per_node < 1 or self.cores_per_socket < 1:
             raise ValueError("machine geometry must be positive")
-        for f in ("c_node", "beta_mem", "beta_link"):
+        for f in ("c_node", "beta_mem", "beta_link", "beta_disk"):
             if getattr(self, f) <= 0:
                 raise ValueError(f"{f} must be positive")
         if self.cache_bytes <= 0 or self.line_bytes <= 0 or self.mem_bytes <= 0:
@@ -122,6 +129,11 @@ class MachineConfig:
     def core_link_bw(self) -> float:
         """NIC bandwidth share of one core (bytes/s)."""
         return self.beta_link / self.cores_per_node
+
+    @property
+    def core_disk_bw(self) -> float:
+        """Disk bandwidth share of one core (bytes/s)."""
+        return self.beta_disk / self.cores_per_node
 
     @property
     def mu(self) -> float:

@@ -40,6 +40,11 @@ class PEStats:
     hops_forwarded: int = 0  # store-and-forward relays handled
     local_memcpy_bytes: int = 0  # co-located "sends" served by memcpy
 
+    # Disk (out-of-core spill, repro.ooc)
+    disk_bytes_written: int = 0  # spill-bin bytes written
+    disk_bytes_read: int = 0  # spill-bin bytes reread in pass 2
+    disk_ops: int = 0  # charged I/O operations (flushes + bin reads)
+
     # Aggregation layer activity
     l3_flushes: int = 0
     l2_flushes: int = 0
@@ -79,6 +84,9 @@ _SUM_FIELDS = (
     "header_bytes",
     "hops_forwarded",
     "local_memcpy_bytes",
+    "disk_bytes_written",
+    "disk_bytes_read",
+    "disk_ops",
     "l3_flushes",
     "l2_flushes",
     "l1_flushes",
@@ -185,6 +193,8 @@ class RunStats:
             "bytes_sent": self.total_bytes_sent,
             "header_bytes": self.total("header_bytes"),
             "local_memcpy_bytes": self.total("local_memcpy_bytes"),
+            "disk_bytes_written": self.total("disk_bytes_written"),
+            "disk_bytes_read": self.total("disk_bytes_read"),
             "receive_imbalance": self.receive_imbalance(),
             "peak_buffer_bytes_per_pe": self.peak_buffer_bytes_per_pe,
             "retransmits": self.total("retransmits"),

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.owner import splitmix64
+from .alphabet import INVALID_CODE
 from .kmers import extract_kmers
 
 __all__ = [
@@ -87,8 +88,8 @@ class SuperKmer:
         return self.n_bases - k + 1
 
 
-def split_superkmers(codes: np.ndarray, k: int, w: int) -> list[SuperKmer]:
-    """Split one encoded read into its super-k-mers."""
+def _split_valid_segment(codes: np.ndarray, k: int, w: int, offset: int) -> list[SuperKmer]:
+    """Split one ambiguity-free read segment (``start`` shifted by *offset*)."""
     mins = read_minimizers(codes, k, w)
     if mins.size == 0:
         return []
@@ -98,9 +99,50 @@ def split_superkmers(codes: np.ndarray, k: int, w: int) -> list[SuperKmer]:
     starts = np.flatnonzero(change)
     ends = np.append(starts[1:], mins.size)
     return [
-        SuperKmer(start=int(s), n_bases=int(e - s) + k - 1, minimizer=int(mins[s]))
+        SuperKmer(start=offset + int(s), n_bases=int(e - s) + k - 1,
+                  minimizer=int(mins[s]))
         for s, e in zip(starts, ends)
     ]
+
+
+def split_superkmers(codes: np.ndarray, k: int, w: int) -> list[SuperKmer]:
+    """Split one encoded read into its super-k-mers.
+
+    Edge cases are handled cleanly rather than degenerately:
+
+    * a read shorter than ``k`` (hence shorter than ``k + w - 1`` too)
+      holds no k-mer and returns ``[]``;
+    * an all-homopolymer read has one minimizer throughout and returns
+      exactly one super-k-mer spanning the read;
+    * ambiguous bases (``INVALID_CODE``) split the read into valid
+      segments first, so every returned ``start``/``n_bases`` substring
+      is ambiguity-free and reproduces its k-mers exactly — the naive
+      path would silently misalign offsets against the dropped windows.
+
+    Every returned super-k-mer satisfies ``n_bases >= k`` (covers at
+    least one k-mer); together they cover each of the read's valid
+    k-mers exactly once.
+    """
+    if w > k:
+        raise ValueError("minimizer length must be <= k")
+    if w < 1:
+        raise ValueError("minimizer length must be >= 1")
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size < k:
+        return []
+    invalid = codes == INVALID_CODE
+    if not invalid.any():
+        return _split_valid_segment(codes, k, w, 0)
+    # Valid segments between ambiguous bases; only those long enough to
+    # hold a k-mer contribute.
+    boundaries = np.flatnonzero(invalid)
+    out: list[SuperKmer] = []
+    seg_start = 0
+    for b in list(boundaries) + [codes.size]:
+        if b - seg_start >= k:
+            out.extend(_split_valid_segment(codes[seg_start:b], k, w, seg_start))
+        seg_start = int(b) + 1
+    return out
 
 
 def superkmer_compression_ratio(

@@ -24,6 +24,7 @@ class TestSchedule:
             drain_seed=11,
             mailbox_seed=13,
             step_seed=17,
+            spill_seed=19,
             plan=FaultPlan(seed=3, drop_prob=0.01, straggler_pes=(1,),
                            straggler_factor=2.0),
             crash_point="flush.pre_manifest",
@@ -47,12 +48,13 @@ class TestSchedule:
             Schedule(crash_point=CRASH_POINTS[0], crash_nth=0)
 
     def test_describe_mentions_active_knobs(self):
-        s = Schedule(seed=1, protect=False, drain_seed=5,
+        s = Schedule(seed=1, protect=False, drain_seed=5, spill_seed=23,
                      crash_point="wal.mid_append",
                      membership=(MembershipEvent("kill", 2, 0),))
         d = s.describe()
         assert "bare" in d and "drain-permuted" in d
         assert "crash@wal.mid_append" in d and "kill:2@0" in d
+        assert "spill-permuted" in d
 
 
 class TestScheduleFuzzer:
@@ -76,6 +78,7 @@ class TestScheduleFuzzer:
         assert s.plan is None and s.crash_point is None
         assert s.drain_seed is None and not s.membership
         assert s.mode == "fast" and s.protect
+        assert s.spill_seed is None
 
     def test_fuzzer_covers_the_knobs(self):
         """A modest budget exercises every nondeterminism source."""
@@ -88,3 +91,4 @@ class TestScheduleFuzzer:
         assert any(s.membership for s in schedules)
         assert any(s.mailbox_seed is not None or s.step_seed is not None
                    for s in schedules)
+        assert any(s.spill_seed is not None for s in schedules)

@@ -66,6 +66,23 @@ class TestSimulation:
             assert t.ok, (schedule.describe(),
                           [v.to_doc() for v in t.violations])
 
+    def test_ooc_layer_runs_and_conserves_spill(self):
+        """Every run exercises out-of-core counting; a spill-permuted
+        schedule still passes with bytes reread == bytes spilled."""
+        sim = Simulation(FAST)
+        schedules = [s for s in ScheduleFuzzer(seed=0).schedules(12)
+                     if s.spill_seed is not None]
+        assert schedules  # the fuzzer samples the spill knob
+        for schedule in [ScheduleFuzzer(seed=0).schedule(0)] + schedules[:2]:
+            t = sim.run(schedule)
+            assert t.ok, [v.to_doc() for v in t.violations]
+            spill = t.events["ooc"]["spill"]
+            assert spill["bytes_spilled"] == spill["bytes_reread"] > 0
+
+    def test_ooc_invariants_registered(self):
+        names = default_registry().names()
+        assert "ooc-exact" in names and "spill-conservation" in names
+
     def test_registry_is_pluggable(self):
         """A user-registered invariant fires like a built-in one."""
         registry = default_registry()

@@ -110,3 +110,64 @@ class TestSuperKmers:
     def test_empty_read(self):
         assert split_superkmers(encode_seq(""), 11, 5) == []
         assert superkmer_compression_ratio([encode_seq("")], 11, 5) == 1.0
+
+
+class TestSuperKmerEdgeCases:
+    """Short, homopolymer and ambiguous reads (out-of-core satellite)."""
+
+    @pytest.mark.parametrize("seq", ["", "A", "ACGTACGTAC"])
+    def test_read_shorter_than_k_returns_empty(self, seq):
+        assert split_superkmers(encode_seq(seq), 11, 5) == []
+
+    def test_read_of_exactly_k(self):
+        codes = encode_seq("ACGTTGCAATC")  # 11 bases, one 11-mer
+        sks = split_superkmers(codes, 11, 5)
+        assert len(sks) == 1
+        assert sks[0].start == 0 and sks[0].n_bases == 11
+        assert sks[0].n_kmers(11) == 1
+
+    @pytest.mark.parametrize("base", "ACGT")
+    def test_homopolymer_read_is_one_superkmer(self, base):
+        codes = encode_seq(base * 50)
+        sks = split_superkmers(codes, 11, 5)
+        assert len(sks) == 1
+        assert sks[0].start == 0 and sks[0].n_bases == 50
+        assert sks[0].n_kmers(11) == 40
+
+    def test_all_ambiguous_read_returns_empty(self):
+        assert split_superkmers(encode_seq("N" * 30, validate=False),
+                                11, 5) == []
+
+    def test_ambiguous_bases_segment_the_read(self):
+        seq = "ACGTTGCAATCGG" + "N" + "ATTACAGGCATCA"
+        codes = encode_seq(seq, validate=False)
+        k, w = 7, 3
+        sks = split_superkmers(codes, k, w)
+        assert sks  # both halves hold k-mers
+        for sk in sks:
+            sub = codes[sk.start : sk.start + sk.n_bases]
+            assert (sub != 255).all()  # every substring is ambiguity-free
+
+    def test_short_segment_between_ns_is_dropped(self):
+        # Middle segment of 4 bases can't hold a 7-mer; ends can.
+        seq = "ACGTTGCA" + "N" + "ACGT" + "N" + "TTACAGGC"
+        codes = encode_seq(seq, validate=False)
+        sks = split_superkmers(codes, 7, 3)
+        covered = {sk.start for sk in sks}
+        assert covered and all(s < 8 or s > 13 for s in covered)
+
+    @given(seq=st.text(alphabet="ACGTN", min_size=0, max_size=150),
+           k=st.integers(3, 12))
+    def test_segmented_superkmers_cover_valid_kmers_exactly(self, seq, k):
+        """Super-k-mers over an N-bearing read reproduce its valid
+        k-mer multiset exactly (occurrence for occurrence)."""
+        codes = encode_seq(seq, validate=False)
+        w = min(k, 4)
+        got = []
+        for sk in split_superkmers(codes, k, w):
+            sub = codes[sk.start : sk.start + sk.n_bases]
+            got.append(extract_kmers(sub, k))
+        got_all = (np.sort(np.concatenate(got)) if got
+                   else np.empty(0, dtype=np.uint64))
+        want = np.sort(extract_kmers(codes, k))
+        assert np.array_equal(got_all, want)
