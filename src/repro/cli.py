@@ -17,6 +17,9 @@ Subcommands:
 * ``cluster-bench`` — replicated serving-cluster benchmark: router
   overhead, hedged-request tail latency under a straggler, and the
   RF=2 chaos proof (node kill + live rebalance, bit-exact answers).
+* ``tenant-bench`` — multi-tenant QoS benchmark: an antagonist floods
+  the engine while a paced victim measures p99; quotas + DRR isolation
+  on vs. unbounded off, plus the fairness and autoscaler proofs.
 * ``ingest``   — durably append reads into an updatable LSM k-mer
   store (WAL + memtable + sorted runs).
 * ``compact``  — merge an LSM store's runs down to the configured
@@ -191,6 +194,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--json", help="write the metrics snapshot here")
     p_serve.add_argument("--trace-out",
                          help="record the engine's query trace here (.npz)")
+
+    p_ten = sub.add_parser(
+        "tenant-bench",
+        help="multi-tenant QoS benchmark: antagonist floods, victim "
+        "measures p99 — quota/DRR isolation on vs. unbounded off",
+    )
+    ten_src = p_ten.add_mutually_exclusive_group()
+    ten_src.add_argument("--database", help=".npz count database to serve "
+                         "(written by `count --save`)")
+    ten_src.add_argument("--dataset", default="synthetic-20",
+                         help="Table V dataset key to count and serve")
+    p_ten.add_argument("-k", type=int, default=15, help="k-mer length")
+    p_ten.add_argument("--budget", type=int, default=100_000,
+                       help="replica k-mer budget when using --dataset")
+    p_ten.add_argument("--victim-groups", type=int, default=400,
+                       help="timed victim arrival groups")
+    p_ten.add_argument("--victim-group", type=int, default=32,
+                       help="keys per victim group")
+    p_ten.add_argument("--victim-interval", type=float, default=15e-3,
+                       help="seconds between victim arrivals (open loop)")
+    p_ten.add_argument("--victim-slo-ms", type=float, default=100.0,
+                       help="victim latency SLO target (ms)")
+    p_ten.add_argument("--antag-batch", type=int, default=256,
+                       help="keys per antagonist batch")
+    p_ten.add_argument("--flooders", type=int, default=16,
+                       help="concurrent antagonist flooder tasks")
+    p_ten.add_argument("--antag-rate", type=float, default=32.0,
+                       help="antagonist quota refill rate (keys/s) when "
+                       "isolation is on")
+    p_ten.add_argument("--shards", type=int, default=2,
+                       help="engine shards")
+    p_ten.add_argument("--zipf", type=float, default=1.1,
+                       help="Zipf exponent of key popularity")
+    p_ten.add_argument("--autoscale-nodes", type=int, default=3,
+                       help="starting cluster size for the autoscaler demo")
+    p_ten.add_argument("--quick", action="store_true",
+                       help="smoke-test sizes (CI): fewer groups, shorter "
+                       "flushes")
+    p_ten.add_argument("--seed", type=int, default=0)
+    p_ten.add_argument("--json", help="write the full result document here")
 
     p_cl = sub.add_parser(
         "cluster-bench",
@@ -946,6 +989,86 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_tenant_bench(args) -> int:
+    from .tenant import run_tenant_bench
+
+    if args.database:
+        from .apps.store import load_counts
+
+        kc, _ = load_counts(args.database)
+        source = args.database
+    else:
+        from .bench.workloads import build_workload
+        from .core.serial import serial_count
+
+        w = build_workload(args.dataset, args.k, budget_kmers=args.budget)
+        kc = serial_count(w.reads, args.k)
+        source = f"{w.spec.display} (replica)"
+
+    kwargs = dict(
+        n_victim_groups=args.victim_groups,
+        victim_group=args.victim_group,
+        victim_interval=args.victim_interval,
+        antag_batch=args.antag_batch,
+        flooders=args.flooders,
+        antag_rate=args.antag_rate,
+        n_shards=args.shards,
+        zipf_s=args.zipf,
+        seed=args.seed,
+        victim_slo_ms=args.victim_slo_ms,
+        autoscale_nodes=args.autoscale_nodes,
+    )
+    if args.quick:
+        from .serve import EngineConfig
+
+        kwargs.update(
+            n_victim_groups=min(args.victim_groups, 120),
+            victim_interval=min(args.victim_interval, 8e-3),
+            flooders=min(args.flooders, 8),
+            config=EngineConfig(
+                batch_size=256, batch_window=1e-3, max_inflight=8192,
+                flush_service_time=10e-3, flush_service_per_key=1e-5),
+        )
+    res = run_tenant_bench(kc, **kwargs)
+
+    print(f"# database:   {source}  ({kc.n_distinct:,} distinct, k={kc.k})")
+    print(f"# victim:     {kwargs['n_victim_groups']} groups x "
+          f"{args.victim_group} keys @ {kwargs['victim_interval'] * 1e3:.1f} ms "
+          f"(SLO {args.victim_slo_ms:.0f} ms)")
+    print(f"# antagonist: {kwargs['flooders']} flooders x {args.antag_batch} "
+          f"keys, quota {args.antag_rate:g} keys/s when isolated")
+    for label in ("solo", "isolated", "unprotected"):
+        sc = getattr(res, label)
+        print(f"# {label:>11}: p50 {sc['p50_ms']:8.2f} ms   "
+              f"p99 {sc['p99_ms']:8.2f} ms   "
+              f"rejected groups {sc['victim_rejected_groups']}")
+    print(f"# victim p99 degradation: isolated "
+          f"{res.isolated_degradation:+.1%}, unprotected "
+          f"{res.unprotected_degradation:+.1%}")
+    fair = res.fairness
+    print(f"# DRR fairness: max share error {fair['max_share_error']:.4f}, "
+          f"starvation violations {fair['starvation_violations']}")
+    scale = res.autoscale
+    actions = [d["action"] for d in scale["decisions"]
+               if d["action"] != "hold"]
+    print(f"# autoscaler: {' -> '.join(actions) or 'no action'}   "
+          f"exact after split/merge: "
+          f"{scale['exact_after_split']}/{scale['exact_after_merge']}")
+    print(f"# answers match oracle: {res.answers_match}")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(res.to_doc(), fh, indent=2)
+            fh.write("\n")
+        print(f"# wrote result document to {args.json}")
+    if not res.answers_match:
+        print("error: served answers diverged from the scalar oracle",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_cluster_bench(args) -> int:
     from .cluster import run_cluster_bench
 
@@ -1302,6 +1425,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "chaos": _cmd_chaos,
     "serve-bench": _cmd_serve_bench,
+    "tenant-bench": _cmd_tenant_bench,
     "cluster-bench": _cmd_cluster_bench,
     "ingest": _cmd_ingest,
     "ooc-count": _cmd_ooc_count,

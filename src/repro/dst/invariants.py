@@ -41,6 +41,18 @@ prose, made executable:
 ``cluster-exact``
     Every query answered during membership churn matches the serial
     oracle.
+``no-starvation``
+    Under the DRR scheduler, every admitted (backlogged) tenant makes
+    progress within its bounded number of grant turns — no service
+    ever exceeds the ``ceil(chunk / (quantum * weight))`` bound, and
+    no tenant goes unserved across a saturated window.
+``fair-share``
+    Over a saturated scheduling window, each tenant's served fraction
+    stays within the DRR additive error (one quantum grant plus one
+    maximum chunk, per tenant) of its weight share.
+``quota-conservation``
+    A token bucket never admits more work than its burst plus the
+    refill earned by the elapsed virtual time.
 """
 
 from __future__ import annotations
@@ -196,6 +208,32 @@ def _cluster_exact(ctx: dict) -> str | None:
             "answers differ from the serial oracle during churn")
 
 
+def _no_starvation(ctx: dict) -> str | None:
+    violations = ctx.get("starvation_violations", 0)
+    if violations:
+        return (f"{violations} service(s) waited more grant turns than "
+                "the DRR bound allows")
+    if not ctx.get("all_progressed", True):
+        return "a backlogged tenant was never served in the saturated window"
+    return None
+
+
+def _fair_share(ctx: dict) -> str | None:
+    error = ctx.get("share_error", 0.0)
+    epsilon = ctx.get("epsilon", 1.0)
+    if error <= epsilon:
+        return None
+    return (f"served share off weight share by {error:.4f} "
+            f"(allowed {epsilon:.4f}) under saturation")
+
+
+def _quota_conservation(ctx: dict) -> str | None:
+    overdraft = ctx.get("quota_overdraft", 0)
+    if not overdraft:
+        return None
+    return f"token bucket over-admitted at {overdraft} sample point(s)"
+
+
 def default_registry() -> InvariantRegistry:
     """The stock invariant catalogue (one registry per simulation)."""
     registry = InvariantRegistry()
@@ -210,4 +248,8 @@ def default_registry() -> InvariantRegistry:
                                 _spill_conservation))
     registry.register(Invariant("ring-rf", "cluster", _ring_rf))
     registry.register(Invariant("cluster-exact", "cluster", _cluster_exact))
+    registry.register(Invariant("no-starvation", "tenant", _no_starvation))
+    registry.register(Invariant("fair-share", "tenant", _fair_share))
+    registry.register(Invariant("quota-conservation", "tenant",
+                                _quota_conservation))
     return registry

@@ -64,6 +64,18 @@ class Schedule:
     burst_amplitude: float = 1.0
     burst_duration: float = 0.0
     burst_period: float = 0.5
+    #: Multi-tenant scheduling knobs for the tenant layer: per-tenant
+    #: DRR weights, per-tenant token-bucket rates (0.0 = unlimited;
+    #: same length as the weights), and the scheduler quantum
+    #: (0 = layer default).  Empty tuples mean the layer's canonical
+    #: two-tenant default — the canary still exercises the scheduler.
+    tenant_weights: tuple = ()
+    tenant_rates: tuple = ()
+    tenant_quantum: int = 0
+    #: Autoscaler thresholds driven through the decision machine
+    #: (0.0 = layer defaults).
+    scaler_hot: float = 0.0
+    scaler_cold: float = 0.0
 
     def __post_init__(self) -> None:
         if self.mode not in ("fast", "exact"):
@@ -78,6 +90,19 @@ class Schedule:
             raise ValueError("burst_period must be > 0")
         if not 0.0 <= self.burst_duration <= self.burst_period:
             raise ValueError("need 0 <= burst_duration <= burst_period")
+        if any(w <= 0 for w in self.tenant_weights):
+            raise ValueError("tenant weights must be > 0")
+        if any(r < 0 for r in self.tenant_rates):
+            raise ValueError("tenant rates must be >= 0")
+        if self.tenant_rates and len(self.tenant_rates) != len(self.tenant_weights):
+            raise ValueError("tenant_rates must match tenant_weights in length")
+        if self.tenant_quantum < 0:
+            raise ValueError("tenant_quantum must be >= 0")
+        if self.scaler_hot < 0 or self.scaler_cold < 0:
+            raise ValueError("scaler thresholds must be >= 0")
+        if (self.scaler_hot or self.scaler_cold) and \
+                self.scaler_hot <= self.scaler_cold:
+            raise ValueError("scaler_hot must exceed scaler_cold")
 
     def burst(self):
         """The schedule's :class:`~repro.serve.workload.BurstSpec`,
@@ -110,6 +135,11 @@ class Schedule:
             "burst_amplitude": self.burst_amplitude,
             "burst_duration": self.burst_duration,
             "burst_period": self.burst_period,
+            "tenant_weights": list(self.tenant_weights),
+            "tenant_rates": list(self.tenant_rates),
+            "tenant_quantum": self.tenant_quantum,
+            "scaler_hot": self.scaler_hot,
+            "scaler_cold": self.scaler_cold,
         }
 
     @classmethod
@@ -132,6 +162,12 @@ class Schedule:
             burst_amplitude=float(doc.get("burst_amplitude", 1.0)),
             burst_duration=float(doc.get("burst_duration", 0.0)),
             burst_period=float(doc.get("burst_period", 0.5)),
+            tenant_weights=tuple(float(w)
+                                 for w in doc.get("tenant_weights", [])),
+            tenant_rates=tuple(float(r) for r in doc.get("tenant_rates", [])),
+            tenant_quantum=int(doc.get("tenant_quantum", 0)),
+            scaler_hot=float(doc.get("scaler_hot", 0.0)),
+            scaler_cold=float(doc.get("scaler_cold", 0.0)),
         )
 
     def simplified(self, **overrides) -> "Schedule":
@@ -159,6 +195,11 @@ class Schedule:
             parts.append(f"burst=x{self.burst_amplitude:.1f}"
                          f"/{self.burst_duration:.2f}s"
                          f"@{self.burst_period:.2f}s")
+        if self.tenant_weights:
+            spec = ":".join(f"{w:g}" for w in self.tenant_weights)
+            parts.append(f"tenants={spec}@q{self.tenant_quantum or 'dflt'}")
+        if self.scaler_hot:
+            parts.append(f"scaler={self.scaler_hot:g}/{self.scaler_cold:g}")
         return " ".join(parts)
 
 
@@ -218,6 +259,25 @@ class ScheduleFuzzer:
             burst_period = float(rng.uniform(0.1, 0.5))
             burst_duration = float(burst_period * rng.uniform(0.1, 0.6))
         spill_seed = int(rng.integers(1 << 63)) if rng.random() < 0.5 else None
+        # Tenant-layer draws come last so every earlier field keeps its
+        # historical value for a given (root, index) pair.
+        tenant_weights: tuple = ()
+        tenant_rates: tuple = ()
+        tenant_quantum = 0
+        if rng.random() < 0.45:
+            n_tenants = int(rng.integers(2, 5))
+            tenant_weights = tuple(
+                round(float(rng.uniform(0.25, 4.0)), 3)
+                for _ in range(n_tenants))
+            tenant_rates = tuple(
+                0.0 if rng.random() < 0.5
+                else round(float(rng.uniform(8.0, 256.0)), 3)
+                for _ in range(n_tenants))
+            tenant_quantum = int(2 ** rng.integers(2, 7))
+        scaler_hot = scaler_cold = 0.0
+        if rng.random() < 0.4:
+            scaler_cold = round(float(rng.uniform(10.0, 200.0)), 3)
+            scaler_hot = round(scaler_cold * float(rng.uniform(2.0, 10.0)), 3)
         return Schedule(
             seed=child,
             mode=mode,
@@ -234,6 +294,11 @@ class ScheduleFuzzer:
             burst_amplitude=burst_amplitude,
             burst_duration=burst_duration,
             burst_period=burst_period,
+            tenant_weights=tenant_weights,
+            tenant_rates=tenant_rates,
+            tenant_quantum=tenant_quantum,
+            scaler_hot=scaler_hot,
+            scaler_cold=scaler_cold,
         )
 
     def schedules(self, n: int):

@@ -100,6 +100,8 @@ def _simplify_schedule(sim: Simulation, schedule: Schedule,
         {"mode": "fast", "mailbox_seed": None, "step_seed": None},
         {"protocol": "1D"},
         {"protect": True},
+        {"tenant_weights": (), "tenant_rates": (), "tenant_quantum": 0},
+        {"scaler_hot": 0.0, "scaler_cold": 0.0},
     ]
     for fields in simplifications:
         if budget[0] <= 0:

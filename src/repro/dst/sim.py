@@ -1,6 +1,6 @@
 """The seeded Simulation: one schedule in, one trajectory out.
 
-Runs a schedule through the four stateful layers of the stack —
+Runs a schedule through the five stateful layers of the stack —
 
 * **runtime**: ``dakc_count`` on the simulated machine under the
   schedule's fault plan, wire ordering and actor interleaving;
@@ -10,7 +10,11 @@ Runs a schedule through the four stateful layers of the stack —
 * **ooc**: the same reads counted out-of-core under the schedule's
   spill interleaving, fused into a second LSM store;
 * **cluster**: the counted database served through a replicated
-  router while the schedule's membership script churns nodes —
+  router while the schedule's membership script churns nodes;
+* **tenant**: the multi-tenant QoS machinery — DRR weighted-fair
+  scheduling, token-bucket quotas, and the autoscaler decision
+  machine — driven on a virtual clock under the schedule's tenant
+  weights, rates, quantum, and scaler thresholds —
 
 and checks the invariant registry against what each layer observed.
 Everything a layer does is a pure function of ``(reads, SimConfig,
@@ -503,6 +507,131 @@ class Simulation:
             })
         return ctx, events
 
+    def _run_tenant(self, schedule: Schedule) -> tuple[dict, dict]:
+        """Drive the multi-tenant QoS machinery on a virtual clock.
+
+        Pure and synchronous — no asyncio, no wall time: the DRR
+        scheduler is drained chunk by chunk over a saturated backlog,
+        the token buckets are stepped on explicit virtual timestamps,
+        and the autoscaler decision machine is fed seeded synthetic
+        load samples.  The `no-starvation` and `fair-share` invariants
+        check the drained window; bucket admissions must never exceed
+        ``burst + rate * elapsed`` (`quota-conservation`).
+        """
+        from ..tenant.registry import TokenBucket
+        from ..tenant.scheduler import DRRQueue
+
+        rng = np.random.default_rng(spawn_seeds(schedule.seed, 5)[4])
+        weights = tuple(schedule.tenant_weights) or (1.0, 2.0)
+        quantum = schedule.tenant_quantum or 16
+        names = [f"t{i}" for i in range(len(weights))]
+        wmap = dict(zip(names, weights))
+        queue = DRRQueue(wmap, quantum=quantum)
+
+        class _Chunk:
+            __slots__ = ("keys", "tenant")
+
+            def __init__(self, n: int, tenant: str):
+                self.keys = np.empty(n, dtype=np.uint64)
+                self.tenant = tenant
+
+        # Saturated window: backlog each tenant with 2x the keys it
+        # could possibly be served before the lightest tenant reaches
+        # its measurement target, so every tenant stays backlogged.
+        cmax = 16
+        per_unit = max(600, 40 * quantum)
+        for name, w in wmap.items():
+            remaining = int(2 * per_unit * w)
+            while remaining > 0:
+                n = min(int(rng.integers(1, cmax + 1)), remaining)
+                queue.put_nowait(_Chunk(n, name))
+                remaining -= n
+        lightest = min(wmap, key=wmap.get)
+        target = int(per_unit * wmap[lightest])
+        while queue.served_keys.get(lightest, 0) < target:
+            queue.get_nowait()
+
+        total_served = sum(queue.served_keys.values())
+        total_weight = sum(wmap.values())
+        shares = {t: queue.served_keys.get(t, 0) / total_served
+                  for t in wmap}
+        share_error = max(abs(shares[t] - wmap[t] / total_weight)
+                          for t in wmap)
+        # DRR's additive service bound per tenant over the window is
+        # one quantum grant plus one maximum chunk.
+        epsilon = (len(wmap) * (quantum * max(weights) + cmax) / total_served
+                   + 0.03)
+
+        # Token buckets on a virtual clock: admissions can never exceed
+        # the burst plus the refill earned by the elapsed virtual time.
+        rates = tuple(schedule.tenant_rates) or (0.0,) * len(weights)
+        overdraft = 0
+        quota_events = []
+        for name, rate in zip(names, rates):
+            if rate <= 0:
+                continue
+            burst = max(rate, float(cmax))
+            bucket = TokenBucket(rate, burst)
+            admitted = 0.0
+            rejections = 0
+            now = 0.0
+            for _ in range(40):
+                now += float(rng.uniform(0.0, 0.2))
+                n = int(rng.integers(1, cmax + 1))
+                if bucket.try_take(n, now) is None:
+                    admitted += n
+                else:
+                    rejections += 1
+                if admitted > burst + rate * now + 1e-9:
+                    overdraft += 1
+            quota_events.append({
+                "tenant": name, "rate": rate,
+                "admitted": int(admitted), "rejections": rejections,
+                "elapsed": round(now, 6),
+            })
+
+        # Autoscaler decision machine under a hot spell then a cold
+        # spell of synthetic per-node loads (digest coverage: the same
+        # schedule must always produce the same decision sequence).
+        from ..tenant.autoscaler import Autoscaler, AutoscalerConfig
+
+        hot = schedule.scaler_hot or 1000.0
+        cold = schedule.scaler_cold or 100.0
+        scaler = Autoscaler(AutoscalerConfig(
+            hot_load=hot, cold_load=cold, patience=2, cooldown=1,
+            min_nodes=2, max_nodes=8))
+        n_nodes = 3
+        decisions = []
+        for phase, level in (("hot", hot * 2), ("cold", cold / 2)):
+            for _ in range(5):
+                sample = {i: level * float(rng.uniform(0.8, 1.2))
+                          for i in range(n_nodes)}
+                decision = scaler.observe(sample)
+                if decision.action != "hold":
+                    n_nodes += 1 if decision.action == "split" else -1
+                decisions.append(f"{phase}:{decision.action}")
+
+        ctx = {
+            "share_error": share_error,
+            "epsilon": epsilon,
+            "starvation_violations": queue.starvation_violations,
+            "all_progressed": all(queue.served_keys.get(t, 0) > 0
+                                  for t in wmap),
+            "quota_overdraft": overdraft,
+        }
+        events = {
+            "weights": list(weights),
+            "quantum": quantum,
+            "served_keys": {t: int(queue.served_keys.get(t, 0))
+                            for t in wmap},
+            "share_error": share_error,
+            "starvation_violations": queue.starvation_violations,
+            "quota": quota_events,
+            "scaler": decisions,
+            "n_nodes_final": n_nodes,
+        }
+        return ctx, events
+
     # -- the trajectory ------------------------------------------------
 
     def run(self, schedule: Schedule, reads: list[np.ndarray] | None = None,
@@ -535,6 +664,9 @@ class Simulation:
 
         cluster_ctx, events["cluster"] = self._run_cluster(schedule, reference)
         violations += self.registry.check("cluster", cluster_ctx)
+
+        tenant_ctx, events["tenant"] = self._run_tenant(schedule)
+        violations += self.registry.check("tenant", tenant_ctx)
 
         events["violations"] = [v.to_doc() for v in violations]
         return Trajectory(

@@ -26,13 +26,27 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-__all__ = ["HotKeyCache", "TieredCache", "TIER_T1", "TIER_T2", "TIER_STORE"]
+__all__ = ["HotKeyCache", "TieredCache", "base_key",
+           "TIER_T1", "TIER_T2", "TIER_STORE"]
 
 #: Tier labels shared by the caches, the engine, and the trace
 #: recorder (:mod:`repro.trace`): which layer answered a query.
 TIER_T1: int = 0     # RAM tier (HotKeyCache, or TieredCache t1)
 TIER_T2: int = 1     # larger-but-slower second tier (TieredCache t2)
 TIER_STORE: int = -1  # cache miss: the sharded store answered
+
+
+def base_key(key) -> int:
+    """The raw k-mer behind a cache key.
+
+    Multi-tenant serving tags cache entries per tenant by using
+    ``(tenant, kmer)`` tuples as cache keys — one tenant's traffic
+    must not prime hits for another (a cross-tenant hit would dodge
+    the second tenant's quota accounting).  Both caches treat keys
+    opaquely, so tagged and raw keys coexist; this helper recovers
+    the k-mer either way for store-driven invalidation.
+    """
+    return key[1] if type(key) is tuple else key
 
 
 class HotKeyCache:
@@ -121,18 +135,23 @@ class HotKeyCache:
         return self._data.pop(key, None) is not None
 
     def invalidate_many(self, keys) -> int:
-        """Drop every cached entry in *keys*; returns entries dropped.
+        """Drop every cached entry for the k-mers in *keys*.
 
         The ingest-invalidation hook: a live store notifies with the
         distinct k-mers of each absorbed batch, and any of them that
         were cached must be forgotten or the cache would keep serving
-        pre-ingest counts.
+        pre-ingest counts.  Tenant-tagged entries (``(tenant, kmer)``
+        keys) are matched by their k-mer, so one ingest invalidates
+        every tenant's copy; returns entries dropped (which can exceed
+        ``len(keys)`` when several tenants cached the same k-mer).
         """
-        dropped = 0
-        for key in keys:
-            if self._data.pop(int(key), None) is not None:
-                dropped += 1
-        return dropped
+        targets = {int(k) for k in keys}
+        if not targets or not self._data:
+            return 0
+        victims = [ck for ck in self._data if base_key(ck) in targets]
+        for ck in victims:
+            del self._data[ck]
+        return len(victims)
 
     def clear(self) -> None:
         self._data.clear()
@@ -292,11 +311,20 @@ class TieredCache:
                 or self._t2.pop(key, None) is not None)
 
     def invalidate_many(self, keys) -> int:
-        """Drop every cached entry in *keys*; returns entries dropped."""
+        """Drop every cached entry for the k-mers in *keys*.
+
+        Matches tenant-tagged ``(tenant, kmer)`` entries by their
+        k-mer, across both tiers (see :func:`base_key`).
+        """
+        targets = {int(k) for k in keys}
+        if not targets:
+            return 0
         dropped = 0
-        for key in keys:
-            if self.invalidate(int(key)):
-                dropped += 1
+        for tier in (self._t1, self._t2):
+            victims = [ck for ck in tier if base_key(ck) in targets]
+            for ck in victims:
+                del tier[ck]
+            dropped += len(victims)
         return dropped
 
     def clear(self) -> None:

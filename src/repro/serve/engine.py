@@ -43,20 +43,33 @@ from .cache import TIER_STORE, TIER_T1, TIER_T2, HotKeyCache, TieredCache
 from .metrics import ServeMetrics
 from .shards import ShardedStore
 
+# The tenant layer is imported after .metrics so the partial-package
+# import chain (serve -> engine -> tenant -> serve.metrics) resolves.
+from ..tenant.metrics import TenantMetricsSet          # noqa: E402
+from ..tenant.registry import QuotaExceeded, TenantRegistry  # noqa: E402
+from ..tenant.scheduler import DRRQueue                # noqa: E402
+
 __all__ = ["Overloaded", "EngineConfig", "QueryEngine", "naive_serve", "replay"]
 
 
 class Overloaded(RuntimeError):
     """Admission queue full: the request was rejected, not queued.
 
-    Carries ``inflight`` (keys currently admitted) and ``limit`` so
-    clients can implement informed retry/shedding policies.
+    Carries ``inflight`` (keys currently admitted), ``limit`` and a
+    ``retry_after`` hint — the estimated seconds until the current
+    queue depth drains enough to admit a request of this size (derived
+    from the engine's measured flush rate) — so clients can implement
+    informed retry/shedding policies instead of blind exponential
+    backoff.
     """
 
-    def __init__(self, inflight: int, limit: int):
-        super().__init__(f"engine overloaded: {inflight} keys in flight (limit {limit})")
+    def __init__(self, inflight: int, limit: int, retry_after: float = 0.0):
+        super().__init__(
+            f"engine overloaded: {inflight} keys in flight (limit {limit}, "
+            f"retry after {retry_after:.4f}s)")
         self.inflight = inflight
         self.limit = limit
+        self.retry_after = retry_after
 
 
 @dataclass(frozen=True)
@@ -67,6 +80,14 @@ class EngineConfig:
     batch_window: float = 5e-4   # seconds a partial batch waits for company
     max_inflight: int = 8192     # admission bound, in keys
     workers_per_shard: int = 1   # concurrent micro-batchers per shard
+    quantum_keys: int = 64       # DRR key-credit per unit tenant weight
+    fair_scheduling: bool = True  # DRR queues when tenants are registered
+    #: Simulated store service cost per flush (fixed + per-key seconds),
+    #: awaited by the worker before the vectorised lookup.  0 = off.
+    #: Benchmarks use it to model a real backend so queueing effects
+    #: (and tenant isolation) are measurable above Python overhead.
+    flush_service_time: float = 0.0
+    flush_service_per_key: float = 0.0
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -77,16 +98,22 @@ class EngineConfig:
             raise ValueError("max_inflight must be >= 1")
         if self.workers_per_shard < 1:
             raise ValueError("workers_per_shard must be >= 1")
+        if self.quantum_keys < 1:
+            raise ValueError("quantum_keys must be >= 1")
+        if self.flush_service_time < 0 or self.flush_service_per_key < 0:
+            raise ValueError("flush service costs must be >= 0")
 
 
 class _Chunk:
     """Keys of one request bound for one shard, plus their reply slot."""
 
-    __slots__ = ("keys", "future")
+    __slots__ = ("keys", "future", "tenant")
 
-    def __init__(self, keys: np.ndarray, future: asyncio.Future):
+    def __init__(self, keys: np.ndarray, future: asyncio.Future,
+                 tenant: str | None = None):
         self.keys = keys
         self.future = future
+        self.tenant = tenant
 
 
 class QueryEngine:
@@ -100,6 +127,7 @@ class QueryEngine:
         cache: HotKeyCache | TieredCache | None = None,
         metrics: ServeMetrics | None = None,
         recorder=None,
+        tenants: TenantRegistry | None = None,
     ):
         self.store = store
         self.config = config or EngineConfig()
@@ -109,21 +137,36 @@ class QueryEngine:
         #: anything with ``record_batch(keys, tiers)``); every admitted
         #: query is logged with the tier that answered it.
         self.recorder = recorder
+        #: Optional multi-tenancy: quota admission per request, DRR
+        #: weighted-fair batching at the shard workers, per-tenant
+        #: metrics with SLO grading, and tenant-tagged cache entries.
+        self.tenants = tenants
+        self.tenant_metrics = (
+            TenantMetricsSet(tenants) if tenants is not None else None)
         self._tiered = isinstance(cache, TieredCache)
         if cache is not None:
             self.metrics.cache_source = cache
-        self._queues: list[asyncio.Queue] = []
+        self._queues: list = []
         self._workers: list[asyncio.Task] = []
         self._inflight = 0
         self._running = False
         self._unsubscribe = None
+        self._drain_rate = 0.0       # EWMA keys/s through the flush path
+        self._last_flush_t: float | None = None
 
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> None:
         if self._running:
             return
-        self._queues = [asyncio.Queue() for _ in range(self.store.n_shards)]
+        if self.tenants is not None and self.config.fair_scheduling:
+            weights = self.tenants.weights()
+            self._queues = [
+                DRRQueue(weights, quantum=self.config.quantum_keys)
+                for _ in range(self.store.n_shards)
+            ]
+        else:
+            self._queues = [asyncio.Queue() for _ in range(self.store.n_shards)]
         self._workers = [
             asyncio.create_task(self._worker(sid))
             for sid in range(self.store.n_shards)
@@ -163,16 +206,39 @@ class QueryEngine:
 
     # -- query paths ---------------------------------------------------
 
-    async def query(self, key: int) -> int:
+    async def query(self, key: int, *, tenant: str | None = None) -> int:
         """Answer one key (a chunk of one; pays the batching window)."""
-        result = await self.query_many(np.array([key], dtype=np.uint64))
+        result = await self.query_many(np.array([key], dtype=np.uint64),
+                                       tenant=tenant)
         return int(result[0])
 
-    async def query_many(self, keys: np.ndarray) -> np.ndarray:
+    def _retry_hint(self, n: int) -> float:
+        """Seconds until *n* keys of admission headroom should exist.
+
+        Derived from the current queue depth and the measured flush
+        drain rate; clamped to [batch_window, 5 s] so clients never
+        spin on a zero hint or stall on a cold estimate.
+        """
+        excess = max(self._inflight + n - self.config.max_inflight, n)
+        if self._drain_rate > 0:
+            hint = excess / self._drain_rate
+        else:
+            hint = self.config.batch_window or 1e-3
+        floor = self.config.batch_window or 1e-4
+        return float(min(max(hint, floor), 5.0))
+
+    async def query_many(self, keys: np.ndarray, *,
+                         tenant: str | None = None) -> np.ndarray:
         """Answer a client batch of keys; returns counts (0 = absent).
 
         Raises :class:`Overloaded` (rejecting the whole batch) when
-        admitting it would exceed ``max_inflight`` keys.
+        admitting it would exceed the caller's inflight budget.  With
+        a tenant registry attached, *tenant* names the caller: the
+        request is first charged against the tenant's token bucket
+        (:class:`~repro.tenant.registry.QuotaExceeded` with a
+        retry-after hint, **before** any queue depth is consumed),
+        then admitted against ``max_inflight >> priority`` so lower
+        classes shed while class 0 still has headroom.
         """
         if not self._running:
             raise RuntimeError("engine not started (use `async with` or start())")
@@ -180,11 +246,36 @@ class QueryEngine:
         n = int(keys.size)
         if n == 0:
             return np.empty(0, dtype=np.int64)
-        if self._inflight + n > self.config.max_inflight:
-            self.metrics.rejected += n
-            raise Overloaded(self._inflight, self.config.max_inflight)
+
+        # -- admission: quota first, queue depth second ----------------
+        tm = None
+        limit = self.config.max_inflight
+        if self.tenants is not None and tenant is not None:
+            tm = self.tenant_metrics.get(tenant)
+            try:
+                spec = self.tenants.admit(tenant, n)
+            except QuotaExceeded:
+                self.metrics.reject(n, "quota")
+                tm.reject(n, "quota")
+                raise
+            limit = max(1, self.config.max_inflight >> spec.priority)
+        if self._inflight + n > limit:
+            cause = "overload" if limit == self.config.max_inflight else "shed"
+            self.metrics.reject(n, cause)
+            if tm is not None:
+                tm.reject(n, cause)
+                # The bucket was debited for work that never queued.
+                self.tenants.refund(tenant, n)
+            raise Overloaded(self._inflight, limit,
+                             retry_after=self._retry_hint(n))
         t0 = time.perf_counter()
         out = np.zeros(n, dtype=np.int64)
+
+        # Cache identity: tenant-tagged entries keep one tenant's
+        # traffic from priming hits (and dodging quota) for another.
+        tagged = self.tenants is not None and tenant is not None
+        def ckey(key, _t=tenant):
+            return (_t, key) if tagged else key
 
         # Hot-key cache pass: answer the Zipf head without queueing.
         cache = self.cache
@@ -197,7 +288,7 @@ class QueryEngine:
             miss_pos = []
             n_t2 = 0
             for i, key in enumerate(keys.tolist()):
-                value = cache_get(key)
+                value = cache_get(ckey(key))
                 if value is None:
                     miss_pos.append(i)
                 elif self._tiered:
@@ -222,7 +313,7 @@ class QueryEngine:
         elif cache is not None:
             cache_get = cache.get
             miss_pos = [i for i, key in enumerate(keys.tolist())
-                        if self._cached(cache_get, key, out, i)]
+                        if self._cached(cache_get, ckey(key), out, i)]
         else:
             if self.recorder is not None:
                 self.recorder.record_batch(keys, None)
@@ -240,7 +331,9 @@ class QueryEngine:
             positions = []
             for sid in np.unique(owners):
                 mask = owners == sid
-                chunk = _Chunk(miss_keys[mask], asyncio.get_running_loop().create_future())
+                chunk = _Chunk(miss_keys[mask],
+                               asyncio.get_running_loop().create_future(),
+                               tenant=tenant)
                 self._queues[int(sid)].put_nowait(chunk)
                 futures.append(chunk.future)
                 positions.append(miss_idx[mask])
@@ -248,13 +341,21 @@ class QueryEngine:
             for pos, vals in zip(positions, answered):
                 out[pos] = vals
 
-        self.metrics.latency.record(time.perf_counter() - t0 + virtual, weight=n)
+        dt = time.perf_counter() - t0 + virtual
+        found = int((out > 0).sum())
+        self.metrics.latency.record(dt, weight=n)
         self.metrics.n_queries += n
-        self.metrics.n_found += int((out > 0).sum())
+        self.metrics.n_found += found
+        if tm is not None:
+            tm.latency.record(dt, weight=n)
+            tm.n_queries += n
+            tm.n_found += found
+            tm.cache_hits += n - n_miss
+            tm.cache_misses += n_miss
         return out
 
     @staticmethod
-    def _cached(cache_get, key: int, out: np.ndarray, i: int) -> bool:
+    def _cached(cache_get, key, out: np.ndarray, i: int) -> bool:
         """Fill out[i] from cache; True means *miss* (key still needed)."""
         value = cache_get(key)
         if value is None:
@@ -279,6 +380,11 @@ class QueryEngine:
                 batch.append(more)
                 n_keys += int(more.keys.size)
             self.metrics.observe_queue_depth(queue.qsize())
+            if cfg.flush_service_time > 0 or cfg.flush_service_per_key > 0:
+                # Simulated store service cost: makes queueing (and so
+                # isolation) measurable on an in-memory store.
+                await asyncio.sleep(cfg.flush_service_time
+                                    + cfg.flush_service_per_key * n_keys)
             self._flush(sid, batch, n_keys)
 
     def _flush(self, sid: int, batch: list[_Chunk], n_keys: int) -> None:
@@ -288,19 +394,30 @@ class QueryEngine:
         else:
             all_keys = np.concatenate([c.keys for c in batch])
         values = self.store.lookup_batch(sid, all_keys)
+        now = time.perf_counter()
+        if self._last_flush_t is not None:
+            dt = now - self._last_flush_t
+            if dt > 0:
+                inst = n_keys / dt
+                # EWMA of the drain rate feeds Overloaded retry hints.
+                self._drain_rate = (inst if self._drain_rate == 0
+                                    else 0.8 * self._drain_rate + 0.2 * inst)
+        self._last_flush_t = now
+        offer = self.cache.offer if self.cache is not None else None
         offset = 0
         for chunk in batch:
             end = offset + int(chunk.keys.size)
             if not chunk.future.done():
                 chunk.future.set_result(values[offset:end])
+            if offer is not None:
+                tagged = self.tenants is not None and chunk.tenant is not None
+                for key, value in zip(chunk.keys.tolist(),
+                                      values[offset:end].tolist()):
+                    offer((chunk.tenant, key) if tagged else key, value)
             offset = end
         self._inflight -= n_keys
         self.metrics.n_batches += 1
         self.metrics.batched_keys += n_keys
-        if self.cache is not None:
-            offer = self.cache.offer
-            for key, value in zip(all_keys.tolist(), values.tolist()):
-                offer(key, value)
 
 
 def naive_serve(
@@ -334,6 +451,7 @@ async def replay(
     *,
     group_size: int = 256,
     concurrency: int = 8,
+    tenant: str | None = None,
 ) -> np.ndarray:
     """Drive a key stream through the engine and time it.
 
@@ -351,8 +469,8 @@ async def replay(
     async def one(i: int, group: np.ndarray) -> None:
         async with gate:
             try:
-                results[i] = await engine.query_many(group)
-            except Overloaded:
+                results[i] = await engine.query_many(group, tenant=tenant)
+            except (Overloaded, QuotaExceeded):
                 results[i] = np.zeros(group.size, dtype=np.int64)
 
     t_start = time.perf_counter()

@@ -98,6 +98,28 @@ class LatencyHistogram:
             return self.max_seen
         return self.lo * self.growth ** i
 
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples at or under *threshold* seconds.
+
+        The SLO-attainment gauge: resolved at bucket granularity (a
+        sample is counted when its whole bucket sits at or under the
+        threshold), so the answer is conservative by at most one
+        bucket width — the same resolution as :meth:`quantile`.
+        """
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        if self.n == 0:
+            return 1.0
+        # Buckets strictly before the one containing the threshold lie
+        # entirely at or under it; include the threshold's own bucket
+        # when the threshold reaches its upper edge.
+        i = self._bucket(threshold)
+        upper = self.lo * self.growth ** i if i <= self.n_buckets else math.inf
+        if threshold >= upper:
+            i += 1
+        below = int(self.counts[:i].sum())
+        return below / self.n
+
     @property
     def mean(self) -> float:
         return self.total / self.n if self.n else 0.0
@@ -114,7 +136,10 @@ class ServeMetrics:
     cache_misses: int = 0       # queries that had to touch a shard
     cache_t2_hits: int = 0      # hits answered by a TieredCache's t2 tier
     t2_time_charged: float = 0.0  # simulated seconds charged for t2 hits
-    rejected: int = 0           # admission-control rejections (Overloaded)
+    rejected: int = 0           # admission-control rejections (all causes)
+    #: Rejections broken down by cause — "overload" (queue depth),
+    #: "quota" (tenant token bucket), "shed" (priority-class headroom).
+    rejected_by_cause: dict = field(default_factory=dict)
     n_batches: int = 0          # vector lookups flushed by the engine
     batched_keys: int = 0       # keys answered by those flushes
     queue_depth_max: int = 0
@@ -134,6 +159,11 @@ class ServeMetrics:
         self.queue_depth_max = max(self.queue_depth_max, depth)
         self._queue_depth_sum += depth
         self._queue_depth_samples += 1
+
+    def reject(self, n: int, cause: str = "overload") -> None:
+        """Count *n* rejected keys under a named rejection cause."""
+        self.rejected += n
+        self.rejected_by_cause[cause] = self.rejected_by_cause.get(cause, 0) + n
 
     # -- derived -------------------------------------------------------
 
@@ -201,6 +231,11 @@ class ServeMetrics:
                 "depth_mean": self.queue_depth_mean,
                 "rejected": self.rejected,
                 "rejected_qps": self.rejected_qps,
+                "rejected_by_cause": dict(self.rejected_by_cause),
+                "rejected_qps_by_cause": {
+                    cause: n / self.elapsed if self.elapsed > 0 else 0.0
+                    for cause, n in self.rejected_by_cause.items()
+                },
             },
         }
 
@@ -267,6 +302,10 @@ class ServeMetrics:
             "rejected": self.rejected - base["rejected"],
             "rejected_qps": (self.rejected - base["rejected"]) / window
             if window > 0 else 0.0,
+            "rejected_by_cause": {
+                cause: n - base.get("rejected_by_cause", {}).get(cause, 0)
+                for cause, n in self.rejected_by_cause.items()
+            },
         }
         self._delta_base = {
             "t": t,
@@ -279,6 +318,7 @@ class ServeMetrics:
             "cache_misses": self.cache_misses,
             "cache_t2_hits": self.cache_t2_hits,
             "rejected": self.rejected,
+            "rejected_by_cause": dict(self.rejected_by_cause),
         }
         return doc
 

@@ -1,0 +1,175 @@
+"""Load-driven shard autoscaler: split hot rings, merge cold ones.
+
+The decision side is a small deterministic state machine —
+:meth:`Autoscaler.observe` folds one per-node load sample
+(node -> qps) into hot/cold streak counters and emits a
+:class:`Decision` — so DST can fuzz it on a virtual clock with no
+cluster attached.  The actuation side (:meth:`Autoscaler.apply`) drives
+:func:`repro.cluster.rebalance.rebalance` live: a *split* derives the
+ring with one joiner and migrates ranges onto it while the router keeps
+answering (bit-exact during the move — the rebalance tests pin that);
+a *merge* derives the ring without the coldest node, migrates its
+ranges away, then evicts the node object.
+
+State machine (per observe tick)::
+
+            mean load > hot_load          mean load < cold_load
+    idle ------------------------> hot streak       cold streak
+      ^        (streak < patience: keep counting)        |
+      |   streak >= patience: emit split / merge,        |
+      +------- enter cooldown for `cooldown` ticks <-----+
+
+Mixed or in-band samples reset both streaks; any emitted action resets
+them and starts the cooldown, so one overload episode produces one
+topology change, not a thundering herd of them.  ``min_nodes`` /
+``max_nodes`` clamp the topology; a decision that would leave the band
+is emitted as a ``hold`` with the reason recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["AutoscalerConfig", "Decision", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Thresholds and damping for :class:`Autoscaler`."""
+
+    hot_load: float = 1000.0    # mean qps/node above which we want a split
+    cold_load: float = 100.0    # mean qps/node below which we want a merge
+    patience: int = 3           # consecutive out-of-band ticks before acting
+    cooldown: int = 5           # ticks to hold after any action
+    min_nodes: int = 2
+    max_nodes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.hot_load <= self.cold_load:
+            raise ValueError("hot_load must exceed cold_load")
+        if self.cold_load < 0:
+            raise ValueError("cold_load must be >= 0")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        if not 1 <= self.min_nodes <= self.max_nodes:
+            raise ValueError("need 1 <= min_nodes <= max_nodes")
+
+    def to_doc(self) -> dict:
+        return {
+            "hot_load": self.hot_load, "cold_load": self.cold_load,
+            "patience": self.patience, "cooldown": self.cooldown,
+            "min_nodes": self.min_nodes, "max_nodes": self.max_nodes,
+        }
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One observe tick's verdict: hold, or change the topology."""
+
+    action: str                 # "hold" | "split" | "merge"
+    node: int | None = None     # hottest node (split) / coldest node (merge)
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in ("hold", "split", "merge"):
+            raise ValueError(f"unknown action {self.action!r}")
+
+
+@dataclass
+class Autoscaler:
+    """Per-tick load watcher emitting split/merge decisions."""
+
+    config: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    hot_streak: int = 0
+    cold_streak: int = 0
+    cooldown_left: int = 0
+    #: Every non-hold decision, in order (for tests and the DST digest).
+    history: list = field(default_factory=list)
+
+    # -- decision side (pure, DST-fuzzable) ----------------------------
+
+    def observe(self, load: Mapping[int, float]) -> Decision:
+        """Fold one load sample (node -> qps) and decide."""
+        if not load:
+            return Decision("hold", reason="no sample")
+        if self.cooldown_left > 0:
+            self.cooldown_left -= 1
+            return Decision("hold", reason="cooldown")
+        cfg = self.config
+        n_nodes = len(load)
+        mean = sum(load.values()) / n_nodes
+        if mean > cfg.hot_load:
+            self.hot_streak += 1
+            self.cold_streak = 0
+            if self.hot_streak >= cfg.patience:
+                if n_nodes >= cfg.max_nodes:
+                    return Decision("hold", reason="at max_nodes")
+                hottest = max(load, key=lambda n: (load[n], n))
+                return self._emit(Decision(
+                    "split", node=hottest,
+                    reason=f"mean {mean:.1f} qps > {cfg.hot_load:.1f} "
+                           f"for {self.hot_streak} ticks"))
+        elif mean < cfg.cold_load:
+            self.cold_streak += 1
+            self.hot_streak = 0
+            if self.cold_streak >= cfg.patience:
+                if n_nodes <= cfg.min_nodes:
+                    return Decision("hold", reason="at min_nodes")
+                coldest = min(load, key=lambda n: (load[n], n))
+                return self._emit(Decision(
+                    "merge", node=coldest,
+                    reason=f"mean {mean:.1f} qps < {cfg.cold_load:.1f} "
+                           f"for {self.cold_streak} ticks"))
+        else:
+            self.hot_streak = 0
+            self.cold_streak = 0
+        return Decision("hold", reason="within band")
+
+    def _emit(self, decision: Decision) -> Decision:
+        self.hot_streak = 0
+        self.cold_streak = 0
+        self.cooldown_left = self.config.cooldown
+        self.history.append(decision)
+        return decision
+
+    # -- actuation side (drives live cluster rebalancing) --------------
+
+    async def apply(self, router, decision: Decision, *,
+                    make_node, chunk_keys: int = 4096):
+        """Actuate a decision on a live router; returns a report or None.
+
+        * split: register ``make_node(new_id)`` (an empty
+          :class:`~repro.cluster.node.ClusterNode`), then rebalance onto
+          the ring with it joined;
+        * merge: rebalance onto the ring without ``decision.node``, then
+          evict the drained node object.
+
+        Queries keep flowing during either move; the rebalance protocol
+        guarantees bit-exact answers throughout.
+        """
+        from ..cluster.rebalance import rebalance  # lazy: avoid cycle
+
+        if decision.action == "hold":
+            return None
+        if decision.action == "split":
+            new_id = max(router.nodes) + 1
+            router.add_node(make_node(new_id))
+            return await rebalance(router, router.ring.with_node(new_id),
+                                   chunk_keys=chunk_keys)
+        # merge
+        report = await rebalance(router,
+                                 router.ring.without_node(decision.node),
+                                 chunk_keys=chunk_keys)
+        router.remove_node(decision.node)
+        return report
+
+    async def step(self, router, load: Mapping[int, float], *,
+                   make_node, chunk_keys: int = 4096):
+        """observe + apply in one call; returns (decision, report|None)."""
+        decision = self.observe(load)
+        report = await self.apply(router, decision, make_node=make_node,
+                                  chunk_keys=chunk_keys)
+        return decision, report

@@ -1,0 +1,86 @@
+"""Per-tenant serving metrics: latency, hit rate, rejections, SLOs.
+
+One :class:`~repro.serve.metrics.ServeMetrics` per tenant, all sharing
+one histogram geometry so they merge exactly (the engine's global
+histogram is always the bucket-wise sum of the per-tenant ones — a
+property the test suite pins).  On top of the stock serving counters
+each tenant gets an *SLO attainment* gauge: the fraction of its
+latency samples at or under the spec's ``slo_ms`` target, read
+straight off the histogram via
+:meth:`~repro.serve.metrics.LatencyHistogram.fraction_below`.
+"""
+
+from __future__ import annotations
+
+from ..serve.metrics import LatencyHistogram, ServeMetrics
+from .registry import TenantRegistry
+
+__all__ = ["TenantMetricsSet"]
+
+
+class TenantMetricsSet:
+    """Lazy tenant -> :class:`ServeMetrics` table with SLO grading."""
+
+    def __init__(self, registry: TenantRegistry | None = None):
+        self.registry = registry
+        self._metrics: dict[str, ServeMetrics] = {}
+        # One geometry for every tenant so histograms merge exactly.
+        self._proto = LatencyHistogram()
+
+    def __contains__(self, tenant: str) -> bool:
+        return tenant in self._metrics
+
+    def __iter__(self):
+        return iter(self._metrics)
+
+    def get(self, tenant: str) -> ServeMetrics:
+        """The tenant's metrics, created on first sight."""
+        m = self._metrics.get(tenant)
+        if m is None:
+            m = ServeMetrics(latency=LatencyHistogram.like(self._proto))
+            self._metrics[tenant] = m
+        return m
+
+    def set_elapsed(self, elapsed: float) -> None:
+        """Stamp one run's wall-clock span on every tenant."""
+        for m in self._metrics.values():
+            m.elapsed = elapsed
+
+    def slo_attainment(self, tenant: str) -> float | None:
+        """Fraction of the tenant's samples within its SLO (None = no SLO)."""
+        if self.registry is None or tenant not in self.registry:
+            return None
+        slo_ms = self.registry.spec(tenant).slo_ms
+        if slo_ms is None:
+            return None
+        return self.get(tenant).latency.fraction_below(slo_ms * 1e-3)
+
+    def merged(self) -> ServeMetrics:
+        """Bucket-exact fold of every tenant's metrics into one."""
+        total = ServeMetrics(latency=LatencyHistogram.like(self._proto))
+        for m in self._metrics.values():
+            total.latency.merge(m.latency)
+            total.n_queries += m.n_queries
+            total.n_found += m.n_found
+            total.cache_hits += m.cache_hits
+            total.cache_misses += m.cache_misses
+            total.rejected += m.rejected
+            for cause, n in m.rejected_by_cause.items():
+                total.rejected_by_cause[cause] = (
+                    total.rejected_by_cause.get(cause, 0) + n)
+            total.elapsed = max(total.elapsed, m.elapsed)
+        return total
+
+    def snapshot(self) -> dict:
+        """Tenant -> metrics snapshot, plus the SLO gauge when graded."""
+        out = {}
+        for tenant, m in self._metrics.items():
+            doc = m.snapshot()
+            attainment = self.slo_attainment(tenant)
+            if attainment is not None:
+                doc["slo"] = {
+                    "target_ms": self.registry.spec(tenant).slo_ms,
+                    "attainment": attainment,
+                }
+            out[tenant] = doc
+        return out

@@ -1,0 +1,154 @@
+"""Per-tenant load generation: diurnal cycles and seeded bursts.
+
+Multi-tenant serving benchmarks need traffic whose *shape* differs per
+tenant — an interactive tenant with a day/night cycle, a batch tenant
+that floods in bursts — not just different rates.  This module layers a
+:class:`DiurnalSpec` (sinusoidal rate modulation) on top of the serving
+layer's exact :class:`~repro.serve.workload.BurstSpec` warp, and merges
+several tenants' streams into one globally time-ordered sequence of
+``(tenant, keys)`` arrival groups for the load driver.
+
+The diurnal overlay uses the same inhomogeneous-Poisson time-change as
+the burst warp: with cumulative rate ``M(t) = integral of m``, mapping
+homogeneous arrivals ``T`` through ``M^{-1}`` yields arrivals with
+instantaneous rate ``base * m(t)``.  The sinusoid has no closed-form
+inverse, so ``M^{-1}`` is evaluated by monotone interpolation on a
+dense grid — deterministic for a given spec, accurate to the grid
+resolution (``period / 512``), and order-preserving.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.result import KmerCounts
+from ..serve.workload import BurstSpec, QueryWorkload, zipf_workload
+
+__all__ = ["DiurnalSpec", "TenantLoadSpec", "tenant_workload",
+           "merged_arrival_groups"]
+
+
+@dataclass(frozen=True)
+class DiurnalSpec:
+    """Sinusoidal rate modulation: ``m(t) = 1 + A sin(2pi (t-phase)/P)``.
+
+    *amplitude* ``A`` in [0, 1) keeps the rate positive; *period* ``P``
+    is the cycle length in seconds (a benchmark's "day"); *phase*
+    shifts where in the cycle the run starts.  Peak rate is ``1 + A``
+    times the base, trough ``1 - A``.
+    """
+
+    amplitude: float = 0.5
+    period: float = 10.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("diurnal amplitude must be in [0, 1)")
+        if self.period <= 0:
+            raise ValueError("diurnal period must be > 0")
+
+    @property
+    def active(self) -> bool:
+        return self.amplitude > 0.0
+
+    def rate_at(self, t: np.ndarray) -> np.ndarray:
+        """Instantaneous rate multiplier m(t)."""
+        t = np.asarray(t, dtype=np.float64)
+        return 1.0 + self.amplitude * np.sin(
+            2.0 * math.pi * (t - self.phase) / self.period)
+
+    def to_doc(self) -> dict:
+        return {"amplitude": self.amplitude, "period": self.period,
+                "phase": self.phase}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "DiurnalSpec":
+        return cls(amplitude=float(doc["amplitude"]),
+                   period=float(doc["period"]),
+                   phase=float(doc.get("phase", 0.0)))
+
+
+def _diurnal_warp(arrivals: np.ndarray, spec: DiurnalSpec) -> np.ndarray:
+    """Warp homogeneous arrivals through the sinusoid's ``M^{-1}``.
+
+    ``M`` is computed by trapezoidal cumulation of ``m`` on a dense
+    grid and inverted with :func:`np.interp` (both strictly monotone
+    since ``m >= 1 - A > 0``).
+    """
+    if arrivals.size == 0 or not spec.active:
+        return arrivals
+    t_last = float(arrivals[-1])
+    # m >= 1 - A, so reaching M(t) = t_last needs at most
+    # t_last / (1 - A) of warped time; pad a period for safety.
+    horizon = t_last / (1.0 - spec.amplitude) + spec.period
+    step = spec.period / 512.0
+    grid = np.arange(0.0, horizon + step, step)
+    m = spec.rate_at(grid)
+    cum = np.concatenate(
+        [[0.0], np.cumsum((m[:-1] + m[1:]) / 2.0 * np.diff(grid))])
+    return np.interp(arrivals, cum, grid)
+
+
+@dataclass(frozen=True)
+class TenantLoadSpec:
+    """One tenant's traffic shape for a multi-tenant run."""
+
+    tenant: str
+    n_queries: int
+    rate_qps: float = 10_000.0
+    zipf_s: float = 1.1
+    miss_fraction: float = 0.0
+    diurnal: DiurnalSpec | None = None
+    burst: BurstSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_queries < 0:
+            raise ValueError("n_queries must be >= 0")
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be > 0")
+
+
+def tenant_workload(counts: KmerCounts, spec: TenantLoadSpec, *,
+                    seed: int = 0) -> QueryWorkload:
+    """Generate one tenant's stream: Zipf keys, burst + diurnal warps.
+
+    The burst warp (exact, piecewise-linear) runs inside
+    :func:`zipf_workload`; the diurnal warp composes on top, so a
+    tenant can carry both a day cycle and sharp periodic bursts.
+    """
+    wl = zipf_workload(
+        counts, spec.n_queries, s=spec.zipf_s, seed=seed,
+        rate_qps=spec.rate_qps, miss_fraction=spec.miss_fraction,
+        burst=spec.burst)
+    if spec.diurnal is not None and spec.diurnal.active:
+        wl = replace(wl, arrivals=_diurnal_warp(wl.arrivals, spec.diurnal))
+    return wl
+
+
+def merged_arrival_groups(
+    workloads: dict[str, QueryWorkload], tick: float = 1e-3
+) -> list[tuple[str, np.ndarray]]:
+    """Merge per-tenant streams into global-time-ordered (tenant, keys).
+
+    Each element is one tenant's keys arriving within one *tick*;
+    different tenants' groups interleave by arrival slot, modelling
+    concurrent clients hitting the same engine.  Slot ties are broken
+    by the dict's tenant order (deterministic in Python).
+    """
+    if tick <= 0:
+        raise ValueError("tick must be > 0")
+    tagged: list[tuple[int, int, str, np.ndarray]] = []
+    for order, (tenant, wl) in enumerate(workloads.items()):
+        if not wl.keys.size:
+            continue
+        slot = (wl.arrivals // tick).astype(np.int64)
+        bounds = np.flatnonzero(np.diff(slot)) + 1
+        starts = np.concatenate([[0], bounds])
+        for i, grp in enumerate(np.split(wl.keys, bounds)):
+            tagged.append((int(slot[starts[i]]), order, tenant, grp))
+    tagged.sort(key=lambda t: (t[0], t[1]))
+    return [(tenant, grp) for _, _, tenant, grp in tagged]

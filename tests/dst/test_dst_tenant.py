@@ -1,0 +1,120 @@
+"""DST tenant layer: schedule fields, determinism, the new invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dst.invariants import default_registry
+from repro.dst.schedule import Schedule, ScheduleFuzzer
+from repro.dst.sim import SimConfig, Simulation
+
+FAST = SimConfig(n_reads=12, read_len=30, n_queries=48, miss_queries=8,
+                 group_size=24)
+
+
+class TestScheduleFields:
+    def test_roundtrip_with_tenant_knobs(self):
+        s = Schedule(seed=3, tenant_weights=(1.5, 0.5, 2.0),
+                     tenant_rates=(0.0, 64.0, 0.0), tenant_quantum=32,
+                     scaler_hot=500.0, scaler_cold=50.0)
+        assert Schedule.from_doc(s.to_doc()) == s
+
+    def test_defaults_roundtrip_unchanged(self):
+        s = Schedule(seed=1)
+        clone = Schedule.from_doc(s.to_doc())
+        assert clone.tenant_weights == () and clone.tenant_quantum == 0
+        assert clone.scaler_hot == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"tenant_weights": (1.0, -2.0)},
+        {"tenant_weights": (1.0,), "tenant_rates": (-5.0,)},
+        {"tenant_weights": (1.0, 2.0), "tenant_rates": (8.0,)},
+        {"tenant_quantum": -1},
+        {"scaler_hot": -1.0},
+        {"scaler_hot": 10.0, "scaler_cold": 10.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Schedule(seed=0, **kwargs)
+
+    def test_describe_mentions_tenants_and_scaler(self):
+        s = Schedule(seed=0, tenant_weights=(2.0, 1.0), tenant_quantum=16,
+                     scaler_hot=400.0, scaler_cold=40.0)
+        text = s.describe()
+        assert "tenants=2:1@q16" in text
+        assert "scaler=400/40" in text
+        assert "tenants" not in Schedule(seed=0).describe()
+
+    def test_fuzzer_draws_tenant_fields(self):
+        fuzzer = ScheduleFuzzer(seed=0)
+        schedules = [fuzzer.schedule(i) for i in range(60)]
+        assert any(s.tenant_weights for s in schedules)
+        assert any(s.scaler_hot > 0 for s in schedules)
+        for s in schedules:
+            if s.tenant_rates:
+                assert len(s.tenant_rates) == len(s.tenant_weights)
+
+
+class TestTenantLayerSim:
+    def test_default_schedule_exercises_and_passes(self):
+        t = Simulation(FAST).run(ScheduleFuzzer(seed=0).schedule(0))
+        assert t.ok, [v.to_doc() for v in t.violations]
+        events = t.events["tenant"]
+        assert events["starvation_violations"] == 0
+        assert events["share_error"] <= 0.2
+        assert sum(events["served_keys"].values()) > 0
+
+    def test_deterministic_digest(self):
+        schedule = Schedule(seed=5, tenant_weights=(3.0, 1.0, 0.5),
+                            tenant_rates=(32.0, 0.0, 128.0),
+                            tenant_quantum=8, scaler_hot=300.0,
+                            scaler_cold=30.0)
+        a = Simulation(FAST).run(schedule)
+        b = Simulation(FAST).run(schedule)
+        assert a.digest == b.digest
+        assert a.events["tenant"] == b.events["tenant"]
+        assert a.ok, [v.to_doc() for v in a.violations]
+
+    def test_scaler_coverage_in_events(self):
+        schedule = Schedule(seed=2, scaler_hot=200.0, scaler_cold=20.0)
+        t = Simulation(FAST).run(schedule)
+        decisions = t.events["tenant"]["scaler"]
+        assert any(d.endswith("split") for d in decisions)
+        assert any(d.endswith("merge") for d in decisions)
+
+    def test_fuzzed_batch_is_green(self):
+        sim = Simulation(FAST)
+        fuzzer = ScheduleFuzzer(seed=11)
+        for i in range(6):
+            t = sim.run(fuzzer.schedule(i))
+            assert t.ok, (i, [v.to_doc() for v in t.violations])
+
+
+class TestTenantInvariantCheckers:
+    def check(self, ctx):
+        return default_registry().check("tenant", ctx)
+
+    def test_registered(self):
+        names = default_registry().names()
+        for name in ("no-starvation", "fair-share", "quota-conservation"):
+            assert name in names
+
+    def test_no_starvation(self):
+        assert self.check({"starvation_violations": 0,
+                           "all_progressed": True}) == []
+        out = self.check({"starvation_violations": 2, "all_progressed": True})
+        assert [v.invariant for v in out] == ["no-starvation"]
+        out = self.check({"starvation_violations": 0,
+                          "all_progressed": False})
+        assert [v.invariant for v in out] == ["no-starvation"]
+
+    def test_fair_share(self):
+        assert self.check({"share_error": 0.01, "epsilon": 0.05}) == []
+        out = self.check({"share_error": 0.30, "epsilon": 0.05})
+        assert [v.invariant for v in out] == ["fair-share"]
+        assert "0.3000" in out[0].detail
+
+    def test_quota_conservation(self):
+        assert self.check({"quota_overdraft": 0}) == []
+        out = self.check({"quota_overdraft": 3})
+        assert [v.invariant for v in out] == ["quota-conservation"]

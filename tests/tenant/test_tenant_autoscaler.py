@@ -1,0 +1,146 @@
+"""Autoscaler tests: the decision state machine and live actuation."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterNode, ClusterRouter, RangeStore, build_cluster
+from repro.core.serial import serial_count
+from repro.tenant.autoscaler import Autoscaler, AutoscalerConfig, Decision
+
+
+CFG = AutoscalerConfig(hot_load=100.0, cold_load=10.0, patience=2,
+                       cooldown=3, min_nodes=2, max_nodes=4)
+
+
+def hot(n=3):
+    return {i: 500.0 for i in range(n)}
+
+
+def cold(n=3):
+    return {i: 1.0 for i in range(n)}
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"hot_load": 10.0, "cold_load": 10.0},
+        {"cold_load": -1.0},
+        {"patience": 0},
+        {"cooldown": -1},
+        {"min_nodes": 0},
+        {"min_nodes": 5, "max_nodes": 4},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(**kwargs)
+
+    def test_doc(self):
+        doc = CFG.to_doc()
+        assert doc["hot_load"] == 100.0 and doc["max_nodes"] == 4
+
+    def test_decision_validates_action(self):
+        with pytest.raises(ValueError):
+            Decision("explode")
+
+
+class TestStateMachine:
+    def test_patience_gates_the_split(self):
+        s = Autoscaler(CFG)
+        assert s.observe(hot()).action == "hold"
+        d = s.observe(hot())
+        assert d.action == "split"
+        assert d.node == 2  # hottest (ties broken by highest id)
+        assert s.history == [d]
+
+    def test_cooldown_suppresses_followups(self):
+        s = Autoscaler(CFG)
+        s.observe(hot())
+        s.observe(hot())  # split, cooldown starts
+        for _ in range(CFG.cooldown):
+            assert s.observe(hot()).reason == "cooldown"
+        # Streaks restart after the cooldown: patience applies again.
+        assert s.observe(hot()).action == "hold"
+        assert s.observe(hot()).action == "split"
+
+    def test_cold_streak_merges_coldest(self):
+        s = Autoscaler(CFG)
+        load = {0: 1.0, 1: 0.5, 2: 2.0}
+        s.observe(load)
+        d = s.observe(load)
+        assert d.action == "merge"
+        assert d.node == 1  # coldest
+
+    def test_in_band_sample_resets_streaks(self):
+        s = Autoscaler(CFG)
+        s.observe(hot())
+        s.observe({0: 50.0, 1: 50.0})  # within band
+        assert s.hot_streak == 0
+        assert s.observe(hot()).action == "hold"  # counting from scratch
+
+    def test_topology_clamps_emit_hold(self):
+        s = Autoscaler(CFG)
+        s.observe(hot(4))
+        assert s.observe(hot(4)).reason == "at max_nodes"
+        s2 = Autoscaler(CFG)
+        s2.observe(cold(2))
+        assert s2.observe(cold(2)).reason == "at min_nodes"
+        assert s.history == [] and s2.history == []
+
+    def test_empty_sample_holds(self):
+        assert Autoscaler(CFG).observe({}).reason == "no sample"
+
+
+class TestActuation:
+    @pytest.fixture(scope="class")
+    def db(self, small_reads):
+        return serial_count(small_reads, 15)
+
+    def test_split_then_merge_stays_exact(self, db):
+        ring, nodes = build_cluster(db, 3, rf=2, seed=0)
+        router = ClusterRouter(ring, nodes)
+        cfg = AutoscalerConfig(hot_load=100.0, cold_load=10.0, patience=1,
+                               cooldown=0, min_nodes=2, max_nodes=5)
+        scaler = Autoscaler(cfg)
+        make_node = lambda nid: ClusterNode(nid, RangeStore.empty())  # noqa: E731
+
+        async def go():
+            async def exact():
+                out = await router.query_many(db.kmers)
+                return bool(np.array_equal(out, db.counts))
+
+            assert await exact()
+            decision, report = await scaler.step(
+                router, {nid: 500.0 for nid in router.nodes},
+                make_node=make_node, chunk_keys=512)
+            assert decision.action == "split"
+            assert report is not None and report.moved_keys > 0
+            assert len(router.nodes) == 4
+            assert await exact()
+
+            decision, report = await scaler.step(
+                router, {nid: 1.0 for nid in router.nodes},
+                make_node=make_node, chunk_keys=512)
+            assert decision.action == "merge"
+            assert decision.node not in router.nodes
+            assert len(router.nodes) == 3
+            assert await exact()
+
+        asyncio.run(go())
+        assert [d.action for d in scaler.history] == ["split", "merge"]
+
+    def test_hold_applies_as_noop(self, db):
+        ring, nodes = build_cluster(db, 2, rf=2, seed=1)
+        router = ClusterRouter(ring, nodes)
+        scaler = Autoscaler(CFG)
+
+        async def go():
+            report = await scaler.apply(
+                router, Decision("hold"),
+                make_node=lambda nid: ClusterNode(nid, RangeStore.empty()))
+            assert report is None
+            assert len(router.nodes) == 2
+
+        asyncio.run(go())

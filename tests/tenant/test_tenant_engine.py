@@ -1,0 +1,252 @@
+"""Tenant-aware engine integration: quotas, shedding, tagged caching."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.serial import serial_count
+from repro.serve.cache import HotKeyCache
+from repro.serve.engine import EngineConfig, Overloaded, QueryEngine
+from repro.serve.shards import ShardedStore
+from repro.tenant import QuotaExceeded, TenantRegistry, TenantSpec
+from repro.tenant.scheduler import DRRQueue
+
+
+@pytest.fixture(scope="module")
+def db(small_reads):
+    return serial_count(small_reads, 15)
+
+
+@pytest.fixture(scope="module")
+def store(db):
+    return ShardedStore.from_counts(db, 4)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def registry():
+    return TenantRegistry([
+        TenantSpec("gold", weight=4.0, slo_ms=100.0),
+        TenantSpec("bronze", weight=1.0, rate=100.0, burst=200.0,
+                   priority=1),
+    ])
+
+
+class TestAdmission:
+    def test_quota_rejection_before_queue_depth(self, db, store):
+        async def go():
+            cfg = EngineConfig(batch_window=0.0)
+            engine = QueryEngine(store, cfg, tenants=registry())
+            async with engine:
+                await engine.query_many(db.kmers[:200], tenant="bronze")
+                with pytest.raises(QuotaExceeded) as exc:
+                    await engine.query_many(db.kmers[:50], tenant="bronze")
+                return engine, exc.value
+
+        engine, err = run(go())
+        assert err.tenant == "bronze" and err.retry_after > 0
+        # The rejection consumed no queue depth and was tallied under
+        # its cause, globally and on the tenant.
+        assert engine.inflight == 0
+        assert engine.metrics.rejected_by_cause == {"quota": 50}
+        tm = engine.tenant_metrics.get("bronze")
+        assert tm.rejected_by_cause == {"quota": 50}
+        assert tm.n_queries == 200
+
+    def test_priority_class_sheds_early_and_refunds_quota(self, db, store):
+        async def go():
+            # bronze (priority 1) sees max_inflight >> 1 = 64 while the
+            # engine still has headroom for gold at 128.
+            cfg = EngineConfig(batch_size=256, batch_window=5e-2,
+                               max_inflight=128)
+            engine = QueryEngine(store, cfg, tenants=registry())
+            async with engine:
+                first = asyncio.create_task(
+                    engine.query_many(db.kmers[:60], tenant="bronze"))
+                await asyncio.sleep(0)
+                with pytest.raises(Overloaded) as exc:
+                    await engine.query_many(db.kmers[60:130], tenant="bronze")
+                ok = await engine.query_many(db.kmers[60:124], tenant="gold")
+                await first
+                return engine, exc.value, ok
+
+        engine, err, gold_out = run(go())
+        assert err.limit == 64
+        assert err.retry_after > 0
+        assert engine.metrics.rejected_by_cause == {"shed": 70}
+        assert gold_out.size == 64  # class 0 still admitted
+        # The shed request's bucket debit was refunded: bronze still
+        # holds its full 200-key burst minus the 60 admitted.
+        bucket = engine.tenants.bucket("bronze")
+        assert bucket.tokens >= 130.0
+
+    def test_overload_cause_for_class_zero(self, db, store):
+        async def go():
+            cfg = EngineConfig(batch_size=256, batch_window=5e-2,
+                               max_inflight=32)
+            engine = QueryEngine(store, cfg, tenants=registry())
+            async with engine:
+                first = asyncio.create_task(
+                    engine.query_many(db.kmers[:30], tenant="gold"))
+                await asyncio.sleep(0)
+                with pytest.raises(Overloaded):
+                    await engine.query_many(db.kmers[30:40], tenant="gold")
+                await first
+                return engine
+
+        engine = run(go())
+        assert engine.metrics.rejected_by_cause == {"overload": 10}
+        assert engine.tenant_metrics.get("gold").rejected_by_cause == {
+            "overload": 10}
+
+    def test_unknown_tenant_rejected(self, db, store):
+        async def go():
+            engine = QueryEngine(store, EngineConfig(batch_window=0.0),
+                                 tenants=registry())
+            async with engine:
+                with pytest.raises(KeyError):
+                    await engine.query_many(db.kmers[:4], tenant="iron")
+
+        run(go())
+
+    def test_untenanted_requests_still_flow(self, db, store):
+        async def go():
+            engine = QueryEngine(store, EngineConfig(batch_window=0.0),
+                                 tenants=registry())
+            async with engine:
+                return await engine.query_many(db.kmers[:50])
+
+        assert (run(go()) > 0).all()
+
+
+class TestFairQueues:
+    def test_drr_queues_installed_with_tenants(self, store):
+        async def go():
+            engine = QueryEngine(store, EngineConfig(quantum_keys=32),
+                                 tenants=registry())
+            async with engine:
+                return [type(q) for q in engine._queues]
+
+        kinds = run(go())
+        assert all(k is DRRQueue for k in kinds)
+
+    def test_fifo_queues_when_fair_scheduling_off(self, store):
+        async def go():
+            cfg = EngineConfig(fair_scheduling=False)
+            engine = QueryEngine(store, cfg, tenants=registry())
+            async with engine:
+                return [type(q) for q in engine._queues]
+
+        assert all(k is asyncio.Queue for k in run(go()))
+
+    def test_answers_exact_under_drr(self, db, store, rng):
+        keys = rng.choice(db.kmers, size=600)
+        expect = np.array([db.get(int(k)) for k in keys])
+        unlimited = TenantRegistry([TenantSpec("gold", weight=4.0),
+                                    TenantSpec("silver", weight=1.0)])
+
+        async def go():
+            cfg = EngineConfig(batch_size=64, batch_window=1e-3,
+                               quantum_keys=16)
+            engine = QueryEngine(store, cfg, tenants=unlimited)
+            async with engine:
+                groups = [keys[i:i + 50] for i in range(0, 600, 50)]
+                outs = await asyncio.gather(*(
+                    engine.query_many(g, tenant="gold" if i % 2 else "silver")
+                    for i, g in enumerate(groups)))
+                return np.concatenate(outs)
+
+        assert np.array_equal(run(go()), expect)
+
+
+class TestTenantTaggedCache:
+    def test_entries_are_keyed_per_tenant(self, db, store):
+        hot = np.repeat(db.kmers[:4], 30)
+
+        async def go():
+            cache = HotKeyCache(64, admit_threshold=1)
+            cfg = EngineConfig(batch_size=32, batch_window=1e-4)
+            engine = QueryEngine(store, cfg, cache=cache,
+                                 tenants=registry())
+            async with engine:
+                await engine.query_many(hot, tenant="gold")
+                await engine.query_many(hot, tenant="gold")
+                gold_hits = engine.tenant_metrics.get("gold").cache_hits
+                # A second tenant must not inherit gold's hot set.
+                await engine.query_many(hot[:40], tenant="bronze")
+                bronze = engine.tenant_metrics.get("bronze")
+                return cache, gold_hits, bronze
+
+        cache, gold_hits, bronze = run(go())
+        assert gold_hits > 0
+        assert bronze.cache_hits == 0
+        assert ("gold", int(db.kmers[0])) in cache
+        assert int(db.kmers[0]) not in cache  # no untagged aliases
+
+    def test_invalidate_many_drops_every_tenants_copy(self, db):
+        cache = HotKeyCache(16)
+        kmer = int(db.kmers[0])
+        cache.offer(("gold", kmer), 3)
+        cache.offer(("bronze", kmer), 3)
+        cache.offer(kmer, 3)
+        assert cache.invalidate_many([kmer]) == 3
+        assert len(cache) == 0
+
+
+class TestTenantMetricsMirroring:
+    def test_single_tenant_run_mirrors_globals(self, db, store):
+        async def go():
+            cache = HotKeyCache(64, admit_threshold=1)
+            cfg = EngineConfig(batch_size=32, batch_window=1e-4)
+            engine = QueryEngine(store, cfg, cache=cache,
+                                 tenants=registry())
+            async with engine:
+                for i in range(0, 300, 50):
+                    await engine.query_many(db.kmers[i % 100:i % 100 + 50],
+                                            tenant="gold")
+                return engine
+
+        engine = run(go())
+        g, t = engine.metrics, engine.tenant_metrics.get("gold")
+        assert t.n_queries == g.n_queries == 300
+        assert t.n_found == g.n_found
+        assert t.cache_hits == g.cache_hits
+        assert t.cache_misses == g.cache_misses
+        assert t.latency.n == g.latency.n
+
+    def test_slo_gauge_in_snapshot(self, db, store):
+        async def go():
+            engine = QueryEngine(store, EngineConfig(batch_window=0.0),
+                                 tenants=registry())
+            async with engine:
+                await engine.query_many(db.kmers[:40], tenant="gold")
+                return engine.tenant_metrics.snapshot()
+
+        snap = run(go())
+        assert snap["gold"]["slo"]["target_ms"] == 100.0
+        assert 0.0 <= snap["gold"]["slo"]["attainment"] <= 1.0
+        assert "slo" not in snap.get("bronze", {})
+
+
+class TestRetryHints:
+    def test_overloaded_hint_clamped_to_config_floor(self, db, store):
+        async def go():
+            cfg = EngineConfig(batch_size=256, batch_window=5e-2,
+                               max_inflight=16)
+            engine = QueryEngine(store, cfg, tenants=registry())
+            async with engine:
+                first = asyncio.create_task(
+                    engine.query_many(db.kmers[:16], tenant="gold"))
+                await asyncio.sleep(0)
+                with pytest.raises(Overloaded) as exc:
+                    await engine.query_many(db.kmers[16:24], tenant="gold")
+                await first
+                return exc.value
+
+        err = run(go())
+        assert 5e-2 <= err.retry_after <= 5.0

@@ -1,0 +1,135 @@
+"""Per-tenant metrics: exact histogram merging, SLO grading, deltas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.metrics import LatencyHistogram, ServeMetrics
+from repro.tenant.metrics import TenantMetricsSet
+from repro.tenant.registry import TenantRegistry, TenantSpec
+
+
+class TestFractionBelow:
+    def test_empty_histogram_attains_everything(self):
+        assert LatencyHistogram().fraction_below(0.01) == 1.0
+
+    def test_bounds_and_monotonicity(self):
+        h = LatencyHistogram()
+        for ms in (1.0, 2.0, 5.0, 50.0):
+            h.record(ms * 1e-3)
+        lo = h.fraction_below(0.5e-3)
+        mid = h.fraction_below(10e-3)
+        hi = h.fraction_below(1.0)
+        assert 0.0 <= lo <= mid <= hi <= 1.0
+        assert hi == 1.0
+        # 3 of 4 samples sit well under 10 ms; conservative by at most
+        # one bucket, so never over-reports.
+        assert mid <= 0.75 + 1e-9
+        assert mid >= 0.5
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().fraction_below(-1.0)
+
+
+class TestMergedMetrics:
+    def test_merged_is_bucketwise_sum_of_concurrent_recorders(self):
+        """Satellite: per-tenant recorders fold back exactly.
+
+        Interleaved recording emulates concurrent per-tenant writers
+        (asyncio interleaves at await points, so interleaving *is* the
+        concurrency model); the merged histogram must be bucket-wise
+        identical to one histogram that saw every sample.
+        """
+        tms = TenantMetricsSet()
+        oracle = ServeMetrics()
+        rng = np.random.default_rng(7)
+        tenants = ["a", "b", "c"]
+        for i in range(900):
+            t = tenants[i % 3]
+            lat = float(rng.uniform(1e-4, 5e-2))
+            m = tms.get(t)
+            m.latency.record(lat)
+            oracle.latency.record(lat)
+            m.n_queries += 1
+            oracle.n_queries += 1
+            if i % 5 == 0:
+                m.reject(2, "quota" if i % 2 else "shed")
+                oracle.reject(2, "quota" if i % 2 else "shed")
+        merged = tms.merged()
+        assert np.array_equal(merged.latency.counts, oracle.latency.counts)
+        assert merged.latency.n == oracle.latency.n
+        assert merged.n_queries == 900
+        assert merged.rejected == oracle.rejected
+        assert merged.rejected_by_cause == oracle.rejected_by_cause
+        for q in (0.5, 0.95, 0.99):
+            assert merged.latency.quantile(q) == oracle.latency.quantile(q)
+
+    def test_snapshot_delta_windows_are_merge_consistent(self):
+        """Deltas over the merged view track the per-tenant sums."""
+        tms = TenantMetricsSet()
+        for t, lat in (("a", 1e-3), ("b", 2e-3)):
+            m = tms.get(t)
+            m.latency.record(lat)
+            m.n_queries += 1
+        merged = tms.merged()
+        first = merged.snapshot_delta(now=10.0)
+        assert first["n_queries"] == 2
+        # New samples on both tenants land in the *next* window of a
+        # fresh merge (merged() returns an independent fold).
+        for t in ("a", "b"):
+            m = tms.get(t)
+            m.latency.record(5e-3)
+            m.n_queries += 1
+        merged2 = tms.merged()
+        merged2._delta_base = merged._delta_base
+        second = merged2.snapshot_delta(now=11.0)
+        assert second["n_queries"] == 2
+        assert second["window_s"] == pytest.approx(1.0)
+        assert second["latency_ms"]["p50"] == pytest.approx(5.0, rel=0.2)
+
+    def test_elapsed_stamped_on_all(self):
+        tms = TenantMetricsSet()
+        tms.get("a")
+        tms.get("b")
+        tms.set_elapsed(3.5)
+        assert tms.get("a").elapsed == 3.5
+        assert tms.get("b").elapsed == 3.5
+        assert tms.merged().elapsed == 3.5
+
+
+class TestSloGrading:
+    def make(self):
+        reg = TenantRegistry([TenantSpec("gold", slo_ms=10.0),
+                              TenantSpec("free")])
+        return TenantMetricsSet(reg)
+
+    def test_attainment_from_histogram(self):
+        tms = self.make()
+        m = tms.get("gold")
+        for _ in range(9):
+            m.latency.record(1e-3)   # well within 10 ms
+        m.latency.record(0.5)        # one gross miss
+        att = tms.slo_attainment("gold")
+        assert att == pytest.approx(0.9, abs=0.05)
+
+    def test_no_slo_or_no_registry_is_ungraded(self):
+        tms = self.make()
+        assert tms.slo_attainment("free") is None
+        assert tms.slo_attainment("stranger") is None
+        assert TenantMetricsSet().slo_attainment("gold") is None
+
+    def test_snapshot_carries_slo_block(self):
+        tms = self.make()
+        tms.get("gold").latency.record(1e-3)
+        tms.get("free").latency.record(1e-3)
+        snap = tms.snapshot()
+        assert snap["gold"]["slo"] == {"target_ms": 10.0, "attainment": 1.0}
+        assert "slo" not in snap["free"]
+
+    def test_membership(self):
+        tms = self.make()
+        assert "gold" not in tms
+        tms.get("gold")
+        assert "gold" in tms and list(tms) == ["gold"]

@@ -1,0 +1,130 @@
+"""Per-tenant load shaping: diurnal warps and stream merging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.serial import serial_count
+from repro.serve.workload import BurstSpec
+from repro.tenant.workload import (
+    DiurnalSpec,
+    TenantLoadSpec,
+    _diurnal_warp,
+    merged_arrival_groups,
+    tenant_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def db(small_reads):
+    return serial_count(small_reads, 15)
+
+
+class TestDiurnalSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalSpec(amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalSpec(amplitude=-0.1)
+        with pytest.raises(ValueError):
+            DiurnalSpec(period=0.0)
+
+    def test_rate_bounds(self):
+        spec = DiurnalSpec(amplitude=0.6, period=4.0)
+        t = np.linspace(0.0, 12.0, 500)
+        m = spec.rate_at(t)
+        assert m.min() >= 0.4 - 1e-9 and m.max() <= 1.6 + 1e-9
+
+    def test_inactive_at_zero_amplitude(self):
+        assert not DiurnalSpec(amplitude=0.0).active
+        assert DiurnalSpec(amplitude=0.3).active
+
+    def test_doc_roundtrip(self):
+        spec = DiurnalSpec(amplitude=0.4, period=7.0, phase=1.5)
+        assert DiurnalSpec.from_doc(spec.to_doc()) == spec
+
+
+class TestDiurnalWarp:
+    def test_identity_when_inactive(self):
+        arrivals = np.linspace(0.0, 5.0, 100)
+        out = _diurnal_warp(arrivals, DiurnalSpec(amplitude=0.0))
+        assert out is arrivals
+
+    def test_order_preserving_and_count_preserving(self):
+        rng = np.random.default_rng(3)
+        arrivals = np.sort(rng.uniform(0.0, 20.0, 500))
+        out = _diurnal_warp(arrivals, DiurnalSpec(amplitude=0.8, period=5.0))
+        assert out.size == arrivals.size
+        assert (np.diff(out) >= 0).all()
+
+    def test_density_tracks_the_sinusoid(self):
+        # Uniform arrivals warped through m(t): the first quarter of
+        # the cycle (m > 1, peak at P/4) must hold more arrivals than
+        # the third (m < 1, trough at 3P/4).
+        arrivals = np.linspace(0.0, 10.0, 4001)
+        spec = DiurnalSpec(amplitude=0.9, period=10.0)
+        out = _diurnal_warp(arrivals, spec)
+        peak = np.count_nonzero((out >= 0.0) & (out < 2.5))
+        trough = np.count_nonzero((out >= 5.0) & (out < 7.5))
+        assert peak > 2 * trough
+
+    def test_mean_rate_approximately_preserved(self):
+        # The sinusoid averages to 1, so total warped span stays close
+        # to the homogeneous span over whole cycles.
+        arrivals = np.linspace(0.0, 30.0, 3000)
+        out = _diurnal_warp(arrivals, DiurnalSpec(amplitude=0.5, period=3.0))
+        assert out[-1] == pytest.approx(30.0, rel=0.05)
+
+
+class TestTenantWorkload:
+    def test_composes_zipf_diurnal_and_burst(self, db):
+        spec = TenantLoadSpec(
+            "alice", n_queries=2000, rate_qps=5000.0, zipf_s=1.2,
+            diurnal=DiurnalSpec(amplitude=0.5, period=0.1),
+            burst=BurstSpec(amplitude=3.0, duration=0.01, period=0.05))
+        wl = tenant_workload(db, spec, seed=4)
+        assert wl.keys.size == 2000
+        assert wl.arrivals.size == 2000
+        assert (np.diff(wl.arrivals) >= 0).all()
+
+    def test_deterministic_per_seed(self, db):
+        spec = TenantLoadSpec("a", n_queries=500,
+                              diurnal=DiurnalSpec(amplitude=0.3))
+        a = tenant_workload(db, spec, seed=9)
+        b = tenant_workload(db, spec, seed=9)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.arrivals, b.arrivals)
+        c = tenant_workload(db, spec, seed=10)
+        assert not np.array_equal(a.keys, c.keys)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantLoadSpec("a", n_queries=-1)
+        with pytest.raises(ValueError):
+            TenantLoadSpec("a", n_queries=1, rate_qps=0.0)
+
+
+class TestMergedArrivalGroups:
+    def test_global_time_order_and_conservation(self, db):
+        wls = {
+            "a": tenant_workload(db, TenantLoadSpec(
+                "a", n_queries=800, rate_qps=2000.0), seed=1),
+            "b": tenant_workload(db, TenantLoadSpec(
+                "b", n_queries=400, rate_qps=1000.0), seed=2),
+        }
+        groups = merged_arrival_groups(wls, tick=1e-3)
+        assert sum(g.size for _, g in groups) == 1200
+        assert {t for t, _ in groups} == {"a", "b"}
+        # Reconstruct each tenant's stream: concatenation preserves
+        # its original key order.
+        for tenant, wl in wls.items():
+            got = np.concatenate([g for t, g in groups if t == tenant])
+            assert np.array_equal(got, wl.keys)
+
+    def test_tick_validation_and_empty_streams(self, db):
+        with pytest.raises(ValueError):
+            merged_arrival_groups({}, tick=0.0)
+        assert merged_arrival_groups({}) == []
+        wl = tenant_workload(db, TenantLoadSpec("a", n_queries=0), seed=0)
+        assert merged_arrival_groups({"a": wl}) == []

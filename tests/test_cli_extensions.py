@@ -140,6 +140,31 @@ class TestServeBench:
         assert rc == 2
 
 
+class TestTenantBench:
+    ARGS = ["tenant-bench", "--dataset", "synthetic-20", "-k", "15",
+            "--budget", "20000", "--quick", "--victim-groups", "40",
+            "--victim-interval", "0.002", "--flooders", "4"]
+
+    def test_tenant_bench_reports_and_matches(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "answers match oracle: True" in out
+        assert "DRR fairness:" in out
+        assert "split -> merge" in out
+
+    def test_tenant_bench_json_document(self, tmp_path, capsys):
+        import json
+
+        doc_path = tmp_path / "tenant.json"
+        assert main(self.ARGS + ["--json", str(doc_path)]) == 0
+        doc = json.loads(doc_path.read_text())
+        assert doc["answers_match"] is True
+        assert doc["fairness"]["starvation_violations"] == 0
+        assert doc["autoscale"]["exact_after_split"] is True
+        assert doc["solo"]["p99_ms"] > 0
+        assert "victim" in doc["isolated"]["tenants"]
+
+
 class TestCalibrate:
     def test_calibrate_quick(self, capsys):
         assert main(["calibrate", "--quick", "--cores", "2"]) == 0
