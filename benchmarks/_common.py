@@ -3,30 +3,99 @@
 Every ``bench_*`` module regenerates one of the paper's tables or
 figures through :mod:`repro.bench.experiments` and
 
-* times the regeneration with pytest-benchmark (single round — these
-  are end-to-end experiment harnesses, not microkernels), and
-* writes the rendered rows to ``benchmarks/results/<exp>.txt`` so the
-  paper-vs-measured record in EXPERIMENTS.md can be refreshed from
-  artefacts.
+* times the regeneration with pytest-benchmark under an explicit
+  repetition policy (``rounds``/``warmup_rounds`` thread straight
+  through to ``benchmark.pedantic``; the historical default is a
+  single round — these are end-to-end experiment harnesses, not
+  microkernels), and
+* writes the rendered rows to ``benchmarks/results/<exp>.txt`` —
+  stamped with the environment fingerprint and the repetition
+  metadata — so the paper-vs-measured record in EXPERIMENTS.md can be
+  refreshed from artefacts with provenance attached.
+
+Extension benches that emit a machine-readable ``BENCH_<name>.json``
+should write it through :func:`write_bench_doc`, which stamps the same
+fingerprint and mirrors the document into the versioned cross-PR
+ledger (``benchmarks/results/ledger/``) via
+:func:`repro.xp.ledger.legacy_envelope`.
 """
 
 from __future__ import annotations
 
+import json
+import re
 from pathlib import Path
 
 from repro.bench.experiments import ExperimentResult, run_experiment
+from repro.xp.env import fingerprint
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+_SPEEDUP_RE = re.compile(r"-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?x?")
 
-def run_and_record(benchmark, exp_id: str, **kwargs) -> ExperimentResult:
+
+def _metadata_footer(policy: dict) -> str:
+    """Provenance block appended to every written ``.txt`` artifact."""
+    env = fingerprint()
+    policy_line = " ".join(f"{k}={v}" for k, v in policy.items())
+    return (
+        "\n# --- provenance ---\n"
+        f"# repetition policy: {policy_line}\n"
+        f"# git: {env['git_sha']}{'+dirty' if env['git_dirty'] else ''}\n"
+        f"# python {env['python']}  numpy {env['numpy']}  "
+        f"scipy {env['scipy']}\n"
+        f"# host: {env['platform']}  cpus={env['cpu_count']}\n"
+        f"# timestamp: {env['timestamp']}\n"
+    )
+
+
+def run_and_record(
+    benchmark,
+    exp_id: str,
+    *,
+    rounds: int = 1,
+    iterations: int = 1,
+    warmup_rounds: int = 0,
+    **kwargs,
+) -> ExperimentResult:
     """Run one experiment under pytest-benchmark and persist its output."""
     result = benchmark.pedantic(
-        lambda: run_experiment(exp_id, **kwargs), rounds=1, iterations=1
+        lambda: run_experiment(exp_id, **kwargs),
+        rounds=rounds, iterations=iterations, warmup_rounds=warmup_rounds,
     )
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{exp_id}.txt").write_text(result.render())
+    policy = {"rounds": rounds, "iterations": iterations,
+              "warmup_rounds": warmup_rounds}
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(
+        result.render() + _metadata_footer(policy))
     return result
+
+
+def write_bench_doc(name: str, doc: dict, *, ledger: bool = True) -> Path:
+    """Write ``BENCH_<name>.json`` and mirror it into the xp ledger.
+
+    The document gains an ``xp_env`` fingerprint; if its shape is one
+    the legacy importer knows, the same run also lands in
+    ``benchmarks/results/ledger/`` as a validated envelope so the
+    cross-PR trajectory keeps growing without a separate import step.
+    Ledger mirroring is best-effort: an unrecognised shape still gets
+    its ``BENCH_*.json`` written.  Pass ``ledger=False`` for quick-mode
+    artifacts whose tiny-workload numbers must not enter the trajectory.
+    """
+    from repro.xp.ledger import Ledger, legacy_envelope
+
+    doc = {**doc, "xp_env": fingerprint()}
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"BENCH_{name}.json"
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    if not ledger:
+        return out
+    try:
+        envelope = legacy_envelope(doc, source=out.name)
+    except ValueError:
+        return out
+    Ledger(RESULTS_DIR / "ledger").append(envelope)
+    return out
 
 
 def rows_of(result: ExperimentResult, table_index: int = 0):
@@ -34,7 +103,16 @@ def rows_of(result: ExperimentResult, table_index: int = 0):
 
 
 def parse_speedup(cell: str) -> float:
-    """'2.35x' -> 2.35; '-' -> nan."""
-    if cell == "-":
+    """'2.35x' -> 2.35; '-' -> nan; anything else is a loud error."""
+    if not isinstance(cell, str):
+        raise TypeError(
+            f"speedup cell must be a string, got {type(cell).__name__}: "
+            f"{cell!r}")
+    text = cell.strip()
+    if text == "-":
         return float("nan")
-    return float(cell.rstrip("x"))
+    if not _SPEEDUP_RE.fullmatch(text):
+        raise ValueError(
+            f"malformed speedup cell {cell!r} "
+            f"(expected '<number>x', '<number>', or '-')")
+    return float(text.rstrip("xX"))

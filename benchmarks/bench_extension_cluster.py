@@ -23,13 +23,11 @@ document is written to ``BENCH_cluster_quick.json`` so CI uploads
 fresh evidence without overwriting the recorded full-run numbers.
 """
 
-import json
-
 from repro.bench.workloads import build_workload
 from repro.cluster import run_cluster_bench
 from repro.core.serial import serial_count
 
-from _common import RESULTS_DIR
+from _common import write_bench_doc
 
 SEED = 0
 
@@ -95,6 +93,7 @@ def test_extension_cluster_replicated_serving(benchmark, quick):
     assert ch["final_rf_ok"]
     assert ch["rebalance"]["moved_keys"] > 0
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    name = "BENCH_cluster_quick.json" if quick else "BENCH_cluster.json"
-    (RESULTS_DIR / name).write_text(json.dumps(doc, indent=2) + "\n")
+    # Quick runs keep their own artifact name and stay out of the
+    # ledger: tiny-workload numbers must not pollute the trajectory.
+    write_bench_doc("cluster_quick" if quick else "cluster", doc,
+                    ledger=not quick)

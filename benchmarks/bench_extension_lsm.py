@@ -18,14 +18,13 @@ The run emits ``benchmarks/results/BENCH_lsm.json``.  Under
 relaxed (tiny workloads put fixed per-call overhead in the numerator).
 """
 
-import json
 import time
 
 from repro.bench.workloads import build_workload
 from repro.core.serial import serial_count
 from repro.lsm import LsmConfig, LsmStore
 
-from _common import RESULTS_DIR
+from _common import write_bench_doc
 
 K = 21
 
@@ -147,6 +146,4 @@ def test_extension_lsm_ingest_read_amp_incremental(benchmark, quick, tmp_path):
         return  # smoke mode: don't overwrite the recorded numbers
     doc["experiment"] = "lsm-store"
     doc["dataset"] = f"synthetic-24 replica (k={K}, {budget // 1000}k k-mer budget)"
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_lsm.json"
-    out.write_text(json.dumps(doc, indent=2) + "\n")
+    write_bench_doc("lsm", doc)

@@ -16,7 +16,6 @@ The run emits ``benchmarks/results/BENCH_ooc.json``.  Under ``--quick``
 the workload shrinks but every exactness and >=10x assertion stays.
 """
 
-import json
 import time
 
 from repro.bench.workloads import build_workload
@@ -27,7 +26,7 @@ from repro.runtime.cost import CostModel
 from repro.runtime.machine import laptop
 from repro.runtime.stats import PEStats
 
-from _common import RESULTS_DIR
+from _common import write_bench_doc
 
 K = 21
 N_BINS = 32
@@ -109,6 +108,4 @@ def test_extension_ooc_count_and_serve(benchmark, quick, tmp_path):
         return  # smoke mode: don't overwrite the recorded numbers
     doc["experiment"] = "ooc-count"
     doc["dataset"] = f"synthetic-24 replica (k={K}, {budget // 1000}k k-mer budget)"
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_ooc.json"
-    out.write_text(json.dumps(doc, indent=2) + "\n")
+    write_bench_doc("ooc", doc)

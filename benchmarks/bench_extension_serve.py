@@ -19,13 +19,11 @@ machine-readable record (throughput, p99, hit rate under a fixed
 seed) for future PRs to compare their serving numbers against.
 """
 
-import json
-
 from repro.bench.workloads import build_workload
 from repro.core.serial import serial_count
 from repro.serve import EngineConfig, run_serve_bench
 
-from _common import RESULTS_DIR
+from _common import write_bench_doc
 
 SEED = 0
 N_QUERIES = 40_000
@@ -77,8 +75,6 @@ def test_extension_serve_batched_cached_vs_naive(benchmark, quick):
 
     if quick:
         return  # smoke mode: don't overwrite the recorded numbers
-    RESULTS_DIR.mkdir(exist_ok=True)
     doc = result.to_doc()
     doc["dataset"] = "synthetic-24 replica (k=21, 150k k-mer budget)"
-    out = RESULTS_DIR / "BENCH_serve.json"
-    out.write_text(json.dumps(doc, indent=2) + "\n")
+    write_bench_doc("serve", doc)

@@ -25,14 +25,12 @@ after each move), and emits ``benchmarks/results/BENCH_tenant.json``
 for future PRs to compare against.
 """
 
-import json
-
 from repro.bench.workloads import build_workload
 from repro.core.serial import serial_count
 from repro.serve import EngineConfig
 from repro.tenant import run_tenant_bench
 
-from _common import RESULTS_DIR
+from _common import write_bench_doc
 
 SEED = 0
 
@@ -87,8 +85,6 @@ def test_extension_tenant_isolation(benchmark, quick):
         f"{res.solo['p99_ms']:.2f} ms = {res.unprotected_degradation:+.1%}"
     )
 
-    RESULTS_DIR.mkdir(exist_ok=True)
     doc = res.to_doc()
     doc["dataset"] = "synthetic-20 replica (k=15, 100k k-mer budget)"
-    out = RESULTS_DIR / "BENCH_tenant.json"
-    out.write_text(json.dumps(doc, indent=2) + "\n")
+    write_bench_doc("tenant", doc)

@@ -19,14 +19,12 @@ machine-readable miss-ratio curve plus the tiering ledger under a
 fixed seed, for future PRs to compare against.
 """
 
-import json
-
 from repro.bench.workloads import build_workload
 from repro.core.serial import serial_count
 from repro.serve import BurstSpec
 from repro.trace import run_trace_bench
 
-from _common import RESULTS_DIR
+from _common import write_bench_doc
 
 SEED = 0
 N_QUERIES = 30_000
@@ -78,8 +76,6 @@ def test_extension_trace_model_replay_tiering(benchmark, quick):
 
     if quick:
         return  # smoke mode: don't overwrite the recorded numbers
-    RESULTS_DIR.mkdir(exist_ok=True)
     doc = result.to_doc()
     doc["dataset"] = "synthetic-24 replica (k=21, 120k k-mer budget)"
-    out = RESULTS_DIR / "BENCH_trace.json"
-    out.write_text(json.dumps(doc, indent=2) + "\n")
+    write_bench_doc("trace", doc)

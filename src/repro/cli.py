@@ -27,6 +27,11 @@ Subcommands:
 * ``trace``    — query-trace tooling (repro.trace): ``record`` a served
   workload, ``profile`` its exact LRU miss-ratio curve, ``sample`` it
   spatially/temporally, ``replay`` it bit-identically.
+* ``xp``       — declarative experiments (repro.xp): ``run`` a spec's
+  sweep under its warmup/repetition policy, ``gate`` it against the
+  ledger baseline with Mann-Whitney + minimum-effect thresholds,
+  ``report`` the cross-PR trajectory, ``import-legacy`` the historical
+  ``BENCH_*.json`` files into the versioned ledger.
 """
 
 from __future__ import annotations
@@ -467,6 +472,64 @@ def build_parser() -> argparse.ArgumentParser:
                           help="compare the sampled (rescaled) miss-ratio "
                           "curve against the full trace's exact curve")
 
+    p_xp = sub.add_parser(
+        "xp",
+        help="declarative experiments: seeded sweeps with repetition "
+             "policy, bootstrap CIs, and statistical perf gating "
+             "(repro.xp)",
+    )
+    xp_sub = p_xp.add_subparsers(dest="xp_command", required=True)
+
+    p_xp_run = xp_sub.add_parser(
+        "run", help="run one spec's sweep and append the envelope to "
+                    "the ledger")
+    _add_xp_run_args(p_xp_run)
+    p_xp_run.add_argument("--json", default=None,
+                          help="also write the result envelope here")
+
+    p_xp_gate = xp_sub.add_parser(
+        "gate", help="run a spec (or load --current) and compare it "
+                     "against the ledger baseline; exit 1 on a "
+                     "significant regression")
+    _add_xp_run_args(p_xp_gate)
+    p_xp_gate.add_argument("--current", default=None,
+                           help="gate this saved envelope instead of "
+                                "running the spec")
+    p_xp_gate.add_argument("--baseline", default=None,
+                           help="explicit baseline envelope path "
+                                "(default: newest passing ledger entry)")
+    p_xp_gate.add_argument("--alpha", type=float, default=0.01,
+                           help="Mann-Whitney significance level")
+    p_xp_gate.add_argument("--min-effect", type=float, default=0.10,
+                           help="minimum relative median shift that can "
+                                "fail the gate")
+    p_xp_gate.add_argument("--report-only", action="store_true",
+                           help="print the verdict but always exit 0")
+    p_xp_gate.add_argument("--json", default=None,
+                           help="write the gate verdict document here")
+
+    p_xp_rep = xp_sub.add_parser(
+        "report", help="print an experiment's cross-PR ledger trajectory")
+    p_xp_rep.add_argument("experiment", nargs="?", default=None,
+                          help="experiment id (default: list all)")
+    p_xp_rep.add_argument("--ledger", default=None,
+                          help="ledger directory (default "
+                               "benchmarks/results/ledger)")
+
+    p_xp_list = xp_sub.add_parser(
+        "list", help="list targets, spec files, and ledger experiments")
+    p_xp_list.add_argument("--ledger", default=None)
+    p_xp_list.add_argument("--specs", default="benchmarks/xp",
+                           help="directory holding declarative specs")
+
+    p_xp_imp = xp_sub.add_parser(
+        "import-legacy",
+        help="one-shot migration of the historical BENCH_*.json files "
+             "into the versioned ledger (originals stay in place)")
+    p_xp_imp.add_argument("--results", default="benchmarks/results",
+                          help="directory holding BENCH_*.json")
+    p_xp_imp.add_argument("--ledger", default=None)
+
     p_tl = sub.add_parser("timeline", help="ASCII Gantt of a simulated run")
     p_tl.add_argument("--dataset", default="synthetic-20")
     p_tl.add_argument("-k", type=int, default=31)
@@ -478,6 +541,26 @@ def build_parser() -> argparse.ArgumentParser:
                       "here (open in Perfetto / chrome://tracing)")
 
     return parser
+
+
+def _add_xp_run_args(parser) -> None:
+    """Flags shared by ``xp run`` and ``xp gate``."""
+    parser.add_argument("spec", help="experiment spec (.json or .toml)")
+    parser.add_argument("--ledger", default=None,
+                        help="ledger directory (default "
+                             "benchmarks/results/ledger)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not append the result envelope")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the spec's root seed")
+    parser.add_argument("--repetitions", type=int, default=None,
+                        help="override the spec's repetition count")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="override the spec's warmup count")
+    parser.add_argument("--set", action="append", default=[],
+                        metavar="KEY=VALUE", dest="overrides",
+                        help="override a fixed parameter (JSON value; "
+                             "repeatable)")
 
 
 def _add_burst_args(parser) -> None:
@@ -1417,6 +1500,145 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _xp_load_spec(args):
+    """Load the spec named by *args* and apply CLI overrides."""
+    import dataclasses
+    import json
+
+    from .xp import RepetitionPolicy, load_spec
+
+    spec = load_spec(args.spec)
+    if args.seed is not None:
+        spec = dataclasses.replace(spec, seed=args.seed)
+    if args.repetitions is not None or args.warmup is not None:
+        policy = RepetitionPolicy(
+            warmup=args.warmup if args.warmup is not None
+            else spec.policy.warmup,
+            repetitions=args.repetitions if args.repetitions is not None
+            else spec.policy.repetitions,
+        )
+        spec = dataclasses.replace(spec, policy=policy)
+    if args.overrides:
+        fixed = dict(spec.fixed)
+        for item in args.overrides:
+            key, sep, raw = item.partition("=")
+            if not sep:
+                raise ValueError(f"--set needs KEY=VALUE, got {item!r}")
+            try:
+                fixed[key] = json.loads(raw)
+            except json.JSONDecodeError:
+                fixed[key] = raw  # bare string
+        spec = dataclasses.replace(spec, fixed=fixed)
+    return spec
+
+
+def _cmd_xp(args) -> int:
+    import json
+
+    from .xp import (
+        Ledger,
+        format_envelope,
+        format_gate,
+        format_trajectory,
+        gate_envelopes,
+        import_legacy,
+        run_spec,
+    )
+    from .xp.ledger import DEFAULT_LEDGER_DIR
+    from .xp.targets import list_targets
+
+    ledger = Ledger(args.ledger if getattr(args, "ledger", None)
+                    else DEFAULT_LEDGER_DIR)
+
+    if args.xp_command == "run":
+        spec = _xp_load_spec(args)
+        envelope = run_spec(spec, progress=print)
+        print(format_envelope(envelope))
+        if not args.no_ledger:
+            print(f"# ledger entry: {ledger.append(envelope)}")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(envelope, fh, indent=2)
+                fh.write("\n")
+            print(f"# wrote envelope to {args.json}")
+        if not envelope["ok"]:
+            print("error: correctness checks failed", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.xp_command == "gate":
+        spec = _xp_load_spec(args)
+        if args.current:
+            envelope = ledger.load(args.current)
+        else:
+            envelope = run_spec(spec, progress=print)
+        baseline = (ledger.load(args.baseline) if args.baseline
+                    else ledger.baseline(spec.experiment))
+        if baseline is None:
+            print(f"# no ledger baseline for {spec.experiment!r}; "
+                  f"recording this run as the first entry")
+            if not args.no_ledger and not args.current:
+                print(f"# ledger entry: {ledger.append(envelope)}")
+            return 0
+        result = gate_envelopes(baseline, envelope, alpha=args.alpha,
+                                min_effect=args.min_effect)
+        print(format_gate(result))
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(result.to_doc(), fh, indent=2)
+                fh.write("\n")
+            print(f"# wrote gate verdict to {args.json}")
+        # A regressed run never silently becomes the next baseline.
+        if not args.no_ledger and not args.current and (
+                result.ok or args.report_only):
+            print(f"# ledger entry: {ledger.append(envelope)}")
+        if not result.ok and not args.report_only:
+            print("error: statistically significant regression",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    if args.xp_command == "report":
+        if args.experiment:
+            print(format_trajectory(ledger, args.experiment))
+            return 0
+        experiments = ledger.experiments()
+        if not experiments:
+            print(f"# empty ledger at {ledger.root}")
+            return 0
+        for exp in experiments:
+            print(f"{exp}  ({len(ledger.entries(exp))} entries)")
+        return 0
+
+    if args.xp_command == "list":
+        print("# targets:")
+        for target in list_targets():
+            print(f"  {target.name:<20} {target.description}")
+        from pathlib import Path
+
+        specs_dir = Path(args.specs)
+        specs = (sorted(specs_dir.glob("*.json"))
+                 + sorted(specs_dir.glob("*.toml"))
+                 if specs_dir.is_dir() else [])
+        print(f"# specs in {specs_dir}:")
+        for path in specs:
+            print(f"  {path}")
+        if not specs:
+            print("  (none)")
+        print(f"# ledger experiments in {ledger.root}:")
+        for exp in ledger.experiments() or ["  (none)"]:
+            print(f"  {exp}" if not exp.startswith("  ") else exp)
+        return 0
+
+    # import-legacy
+    imported = import_legacy(args.results, ledger)
+    for name, path in imported:
+        print(f"{name} -> {path if path else 'skipped (already imported)'}")
+    if not imported:
+        print(f"# no BENCH_*.json under {args.results}")
+    return 0
+
+
 _COMMANDS = {
     "count": _cmd_count,
     "datasets": _cmd_datasets,
@@ -1432,6 +1654,7 @@ _COMMANDS = {
     "compact": _cmd_compact,
     "dst": _cmd_dst,
     "trace": _cmd_trace,
+    "xp": _cmd_xp,
     "analyze": _cmd_analyze,
     "compare": _cmd_compare,
     "timeline": _cmd_timeline,

@@ -1,0 +1,91 @@
+"""``repro.xp`` — declarative experiments, statistics, and perf gating.
+
+The paper's claims are comparative ("asynchronous beats BSP", "comm
+overlap cuts runtime"), and so is every extension claim this repo has
+accumulated — yet until now each ``BENCH_*.json`` was a hand-rolled,
+single-shot measurement with its own shape.  This subsystem makes the
+"measurably faster" discipline systematic:
+
+* :mod:`repro.xp.spec`    — sweeps as *data*: a versioned
+  :class:`ExperimentSpec` names a target callable, its parameter grid,
+  seeds, and an explicit warmup/repetition policy (JSON/TOML).
+* :mod:`repro.xp.targets` — the registry of runnable targets (the
+  serve/LSM/out-of-core benches, the paper-figure registry, synthetic
+  calibration targets).
+* :mod:`repro.xp.runner`  — expands the grid, spawns collision-free
+  child seeds via :mod:`repro.core.seeds`, runs warmups + repetitions,
+  and stamps an environment fingerprint into the result envelope.
+* :mod:`repro.xp.stats`   — bootstrap confidence intervals,
+  Mann-Whitney U shift detection, Cliff's delta, and a minimum-effect
+  threshold so noise cannot flip a verdict.
+* :mod:`repro.xp.ledger`  — the append-only, versioned result ledger
+  under ``benchmarks/results/ledger/``, keyed by experiment id + git
+  SHA; also the one validated loader the six legacy ``BENCH_*.json``
+  shapes funnel into.
+* :mod:`repro.xp.gate`    — compares a fresh run against the ledger
+  baseline and fails CI on a statistically significant regression.
+
+CLI: ``dakc xp run|gate|report|list|import-legacy``.
+"""
+
+from __future__ import annotations
+
+from .env import fingerprint
+from .gate import GateResult, gate_envelopes
+from .ledger import (
+    LEDGER_VERSION,
+    Ledger,
+    import_legacy,
+    legacy_envelope,
+    validate_envelope,
+)
+from .report import format_envelope, format_gate, format_trajectory
+from .runner import run_spec
+from .spec import (
+    SPEC_VERSION,
+    ExperimentSpec,
+    RepetitionPolicy,
+    SweepSpec,
+    load_spec,
+    save_spec,
+)
+from .stats import (
+    Comparison,
+    bootstrap_ci,
+    cliffs_delta,
+    compare_samples,
+    mann_whitney_u,
+    relative_shift,
+)
+from .targets import TARGETS, TargetOutcome, XpTarget, get_target
+
+__all__ = [
+    "SPEC_VERSION",
+    "LEDGER_VERSION",
+    "ExperimentSpec",
+    "RepetitionPolicy",
+    "SweepSpec",
+    "load_spec",
+    "save_spec",
+    "TARGETS",
+    "XpTarget",
+    "TargetOutcome",
+    "get_target",
+    "fingerprint",
+    "run_spec",
+    "Comparison",
+    "bootstrap_ci",
+    "cliffs_delta",
+    "compare_samples",
+    "mann_whitney_u",
+    "relative_shift",
+    "Ledger",
+    "validate_envelope",
+    "legacy_envelope",
+    "import_legacy",
+    "GateResult",
+    "gate_envelopes",
+    "format_envelope",
+    "format_gate",
+    "format_trajectory",
+]

@@ -1,0 +1,56 @@
+"""Environment fingerprinting for result envelopes.
+
+Perf numbers without provenance are rumors: every envelope the runner
+or the legacy importer writes carries the git SHA (+dirty flag), the
+interpreter and numpy/scipy versions, the platform, and the CPU count,
+so a ledger diff can always answer "same code? same machine?".
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+import time
+
+__all__ = ["fingerprint", "git_sha"]
+
+
+def git_sha(cwd: str | None = None) -> tuple[str, bool]:
+    """(HEAD SHA, dirty?) of the repo at *cwd*, or ('unknown', False)."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=True,
+        ).stdout.strip()
+        return sha, bool(status)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown", False
+
+
+def fingerprint(cwd: str | None = None) -> dict:
+    """The environment fingerprint stamped into every result artifact."""
+    import numpy
+
+    try:
+        import scipy
+        scipy_version = scipy.__version__
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        scipy_version = None
+    sha, dirty = git_sha(cwd)
+    return {
+        "git_sha": sha,
+        "git_dirty": dirty,
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "scipy": scipy_version,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
