@@ -4,10 +4,20 @@ KMC3's defining feature — and the reason the paper uses it as the
 shared-memory baseline — is out-of-core operation: the input never has
 to fit in memory at once.  This module provides the analogous batched
 path for this library: records stream off disk in bounded batches,
-each batch is counted with the fast serial kernel, and partial results
-merge into a running (k-mer, count) database.  Peak memory is one
-batch of reads plus the distinct-k-mer database (the irreducible
-output), instead of the whole read set.
+each batch is counted in one shot, and partial results merge into a
+running (k-mer, count) database.  Peak memory is one batch of reads
+plus the distinct-k-mer database (the irreducible output), instead of
+the whole read set.
+
+Two batch kernels back this path.  The default (``fast=True``) is the
+vectorised super-k-mer pipeline: one joined encode of the whole batch
+(:func:`repro.seq.encoding.encode_batch`), the flat super-k-mer split
+kernel (:func:`repro.seq.superkmers.split_superkmers_flat`), and a
+fused extract -> sort -> accumulate — zero per-read or per-k-mer
+Python in the hot loop.  ``fast=False`` keeps the original per-read
+``encode_seq`` + :func:`repro.core.serial.serial_count` path; it is
+retained as the differential oracle (see ``tests/count/``) and for
+apples-to-apples benchmarking (the ``count-bench`` experiment).
 """
 
 from __future__ import annotations
@@ -19,8 +29,13 @@ import numpy as np
 
 from ..core.result import KmerCounts
 from ..core.serial import serial_count
-from ..seq.encoding import encode_seq
+from ..seq.encoding import encode_batch, encode_seq
 from ..seq.fastx import SeqRecord, read_fastx
+from ..seq.superkmers import (
+    DEFAULT_MINIMIZER_LEN,
+    count_superkmer_batch,
+    split_superkmers_flat,
+)
 from .store import merge_sorted_counts
 
 __all__ = ["count_records_streaming", "count_file_streaming", "count_files_streaming"]
@@ -44,6 +59,8 @@ def count_records_streaming(
     batch_records: int = 100_000,
     canonical: bool = False,
     progress: Callable[[int, KmerCounts], None] | None = None,
+    fast: bool = True,
+    w: int | None = None,
 ) -> KmerCounts:
     """Count k-mers of a record stream in bounded batches.
 
@@ -51,17 +68,31 @@ def count_records_streaming(
     ``(records_so_far, running_counts)`` — usable for live status or
     early inspection (the running counts are always valid for the
     prefix consumed so far).
+
+    *fast* selects the vectorised super-k-mer batch kernel (default);
+    ``fast=False`` runs the original per-read scalar path, kept as the
+    differential oracle.  *w* is the minimizer length of the fast
+    path (default ``min(k, 7)``); counts are independent of it — it
+    only shifts work between the split and sort stages.
     """
     if batch_records < 1:
         raise ValueError("batch_records must be >= 1")
+    w_eff = min(k, DEFAULT_MINIMIZER_LEN if w is None else w)
     merged_keys = np.empty(0, dtype=np.uint64)
     merged_vals = np.empty(0, dtype=np.int64)
     seen = 0
     for batch in _batches(records, batch_records):
-        encoded = [encode_seq(r.seq, validate=False) for r in batch]
-        partial = serial_count(encoded, k, canonical=canonical)
+        if fast:
+            flat, offsets = encode_batch(
+                [r.seq for r in batch], validate=False)
+            skb = split_superkmers_flat(flat, offsets, k, w_eff)
+            keys, vals = count_superkmer_batch(skb, canonical=canonical)
+        else:
+            encoded = [encode_seq(r.seq, validate=False) for r in batch]
+            partial = serial_count(encoded, k, canonical=canonical)
+            keys, vals = partial.kmers, partial.counts
         merged_keys, merged_vals = merge_sorted_counts(
-            merged_keys, merged_vals, partial.kmers, partial.counts
+            merged_keys, merged_vals, keys, vals
         )
         seen += len(batch)
         if progress is not None:
@@ -76,11 +107,14 @@ def count_file_streaming(
     batch_records: int = 100_000,
     canonical: bool = False,
     progress: Callable[[int, KmerCounts], None] | None = None,
+    fast: bool = True,
+    w: int | None = None,
 ) -> KmerCounts:
     """Count a FASTA/FASTQ file without loading it whole."""
     return count_records_streaming(
         read_fastx(path), k,
         batch_records=batch_records, canonical=canonical, progress=progress,
+        fast=fast, w=w,
     )
 
 
@@ -91,6 +125,8 @@ def count_files_streaming(
     batch_records: int = 100_000,
     canonical: bool = False,
     progress: Callable[[int, KmerCounts], None] | None = None,
+    fast: bool = True,
+    w: int | None = None,
 ) -> KmerCounts:
     """Count several files into one database (multi-lane sequencing runs).
 
@@ -106,4 +142,5 @@ def count_files_streaming(
     return count_records_streaming(
         chain(), k,
         batch_records=batch_records, canonical=canonical, progress=progress,
+        fast=fast, w=w,
     )

@@ -58,8 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
     src.add_argument("--input", help="FASTA/FASTQ file path")
     src.add_argument("--dataset", help="Table V dataset key (e.g. synthetic-24)")
     p_count.add_argument("-k", type=int, default=31, help="k-mer length (default 31)")
-    p_count.add_argument("--algorithm", default="dakc",
-                         help="serial|dakc|bsp|pakman|pakman*|hysortk|kmc3")
+    p_count.add_argument("--algorithm", default="auto",
+                         help="auto|fast|serial|dakc|bsp|pakman|pakman*|hysortk|"
+                              "kmc3 (auto = vectorised fast path for --input, "
+                              "dakc simulation for --dataset)")
     p_count.add_argument("--nodes", type=int, default=1, help="simulated node count")
     p_count.add_argument("--machine", default="phoenix-intel",
                          help="machine preset (phoenix-intel|phoenix-amd|laptop)")
@@ -561,6 +563,10 @@ def _add_xp_run_args(parser) -> None:
                         metavar="KEY=VALUE", dest="overrides",
                         help="override a fixed parameter (JSON value; "
                              "repeatable)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: shrink to 0 warmups / 2 "
+                             "repetitions and skip the ledger append "
+                             "(quick numbers never become baselines)")
 
 
 def _add_burst_args(parser) -> None:
@@ -598,10 +604,16 @@ def _cmd_count(args) -> int:
         reads = args.input
         source = args.input
 
+    # "auto": real files get the vectorised super-k-mer fast path;
+    # dataset replicas keep the simulated dakc run (the paper's view).
+    algorithm = args.algorithm
+    if algorithm == "auto":
+        algorithm = "fast" if args.input else "dakc"
+
     run = count_kmers(
         reads,
         args.k,
-        algorithm=args.algorithm,
+        algorithm=algorithm,
         machine=args.machine,
         nodes=args.nodes,
         protocol=args.protocol,
@@ -1508,6 +1520,12 @@ def _xp_load_spec(args):
     from .xp import RepetitionPolicy, load_spec
 
     spec = load_spec(args.spec)
+    if getattr(args, "quick", False):
+        # Quick runs shrink the policy and never reach the ledger; an
+        # explicit --repetitions/--warmup still wins below.
+        spec = dataclasses.replace(
+            spec, policy=RepetitionPolicy(warmup=0, repetitions=2))
+        args.no_ledger = True
     if args.seed is not None:
         spec = dataclasses.replace(spec, seed=args.seed)
     if args.repetitions is not None or args.warmup is not None:

@@ -27,11 +27,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..runtime.collectives import barrier
-from ..runtime.cost import OPS_PER_ELEMENT_BUFFER, CostModel
+from ..runtime.cost import OPS_PER_SUPERKMER, CostModel
 from ..runtime.machine import MachineConfig
 from ..runtime.stats import RunStats
-from ..seq.kmers import canonical_kmers, extract_kmers
+from ..seq.kmers import canonical_kmers
 from ..seq.minimizers import minimizers_of_kmers
+from ..seq.superkmers import split_superkmers_batch
 from ..sort.accumulate import accumulate_sorted, merge_count_arrays
 from .owner import splitmix64
 from .result import KmerCounts
@@ -65,10 +66,18 @@ def minimizer_partitioned_count(
     """Count k-mers by minimizer partitioning with super-k-mer wire
     format; same contract as :func:`repro.core.dakc.dakc_count`.
 
-    Structure: parse each source's reads, split into super-k-mer runs
-    by minimizer, route each run (2-bit packed + header) to
+    Structure: each source splits its whole read batch into
+    super-k-mer runs with the vectorised kernel
+    (:func:`repro.seq.superkmers.split_superkmers_batch` — zero
+    per-k-mer Python), routes each run (2-bit packed + header) to
     ``hash(minimizer) mod P``; after the inter-phase barrier every
     owner re-extracts, sorts and accumulates its received k-mers.
+
+    With ``canonical=True`` routing hashes the *canonical* form's
+    minimizer (computed per k-mer) so both strands of a k-mer share an
+    owner; runs then follow owner changes rather than the forward
+    super-k-mer decomposition, exactly as a canonical splitter would
+    emit them.
     """
     if isinstance(cost, MachineConfig):
         cost = CostModel(cost)
@@ -91,33 +100,39 @@ def minimizer_partitioned_count(
     inbox: list[list[np.ndarray]] = [[] for _ in range(n_pes)]
     for src, rows in enumerate(per_pe):
         pe = stats.pe[src]
-        pending_bytes = np.zeros(n_pes, dtype=np.int64)
-        for row in rows:
-            codes = np.asarray(row, dtype=np.uint8)
-            kmers = extract_kmers(codes, k)
-            if canonical and kmers.size:
-                # Route by the canonical form's minimizer so both
-                # strands of a k-mer share an owner.
-                kmers = canonical_kmers(kmers, k)
-            if kmers.size == 0:
-                continue
-            pe.kmers_generated += int(kmers.size)
-            cost.charge_compute(pe, int(kmers.size) * (k - w + 2))
-            cost.charge_mem(pe, int(codes.size))
-            mins = minimizers_of_kmers(kmers, k, w)
-            owners = (splitmix64(mins) % np.uint64(n_pes)).astype(np.int64)
-            # Super-k-mer runs: boundaries where the owner changes.
-            change = np.empty(owners.size, dtype=bool)
-            change[0] = True
-            change[1:] = owners[1:] != owners[:-1]
-            starts = np.flatnonzero(change)
-            ends = np.append(starts[1:], owners.size)
-            cost.charge_compute(pe, int(starts.size) * OPS_PER_ELEMENT_BUFFER)
-            for s, e in zip(starts.tolist(), ends.tolist()):
-                dst = int(owners[s])
-                n_bases = (e - s) + k - 1
-                pending_bytes[dst] += -(-n_bases // 4) + config.header_bytes
-                inbox[dst].append(kmers[s:e])
+        batch = split_superkmers_batch(rows, k, w)
+        kmers = batch.kmers()
+        if kmers.size == 0:
+            continue
+        if canonical:
+            # Route by the canonical form's minimizer so both strands
+            # of a k-mer share an owner.
+            kmers = canonical_kmers(kmers, k)
+        pe.kmers_generated += int(kmers.size)
+        cost.charge_compute(pe, int(kmers.size) * (k - w + 2))
+        cost.charge_mem(pe, int(batch.codes.size))
+        mins = minimizers_of_kmers(kmers, k, w)
+        owners = (splitmix64(mins) % np.uint64(n_pes)).astype(np.int64)
+        read_of = np.repeat(batch.read_ids, batch.n_kmers_per)
+        # Super-k-mer runs: boundaries where the owner (or the source
+        # read) changes; one run ships as one packed record.
+        change = np.empty(owners.size, dtype=bool)
+        change[0] = True
+        change[1:] = (owners[1:] != owners[:-1]) | (read_of[1:] != read_of[:-1])
+        starts = np.flatnonzero(change)
+        ends = np.append(starts[1:], owners.size)
+        n_bases = (ends - starts) + k - 1
+        pending_bytes = np.bincount(
+            owners[starts], weights=-(-n_bases // 4) + config.header_bytes,
+            minlength=n_pes).astype(np.int64)
+        cost.charge_compute(pe, int(starts.size) * OPS_PER_SUPERKMER)
+        order = np.argsort(owners, kind="stable")
+        routed = kmers[order]
+        dst_counts = np.bincount(owners, minlength=n_pes)
+        bounds = np.zeros(n_pes + 1, dtype=np.int64)
+        np.cumsum(dst_counts, out=bounds[1:])
+        for dst in np.flatnonzero(dst_counts):
+            inbox[int(dst)].append(routed[bounds[dst]:bounds[dst + 1]])
         for dst in np.flatnonzero(pending_bytes):
             cost.charge_put(pe, int(dst), int(pending_bytes[dst]))
 

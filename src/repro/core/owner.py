@@ -19,11 +19,15 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["splitmix64", "owner_pe", "owner_pe_scalar", "partition_by_owner"]
+__all__ = ["splitmix64", "splitmix64_inverse", "owner_pe", "owner_pe_scalar",
+           "partition_by_owner"]
 
 _C1 = np.uint64(0x9E3779B97F4A7C15)
 _C2 = np.uint64(0xBF58476D1CE4E5B9)
 _C3 = np.uint64(0x94D049BB133111EB)
+# Modular inverses of the odd multipliers (mod 2**64).
+_INV_C2 = np.uint64(pow(0xBF58476D1CE4E5B9, -1, 1 << 64))
+_INV_C3 = np.uint64(pow(0x94D049BB133111EB, -1, 1 << 64))
 
 
 def splitmix64(x: np.ndarray | int) -> np.ndarray | int:
@@ -36,6 +40,34 @@ def splitmix64(x: np.ndarray | int) -> np.ndarray | int:
         z = (z ^ (z >> np.uint64(27))) * _C3
         z = z ^ (z >> np.uint64(31))
     return int(z) if scalar else z
+
+
+def _unshift_xor_right(y: np.ndarray, s: int) -> np.ndarray:
+    """Invert ``x ^= x >> s`` (vectorised fixed-point iteration)."""
+    x = y
+    for _ in range(63 // s + 1):
+        x = y ^ (x >> np.uint64(s))
+    return x
+
+
+def splitmix64_inverse(z: np.ndarray | int) -> np.ndarray | int:
+    """Exact inverse of :func:`splitmix64`.
+
+    Every step of the mixer is a 64-bit bijection (xorshift, odd
+    multiply, constant add), so the whole finaliser inverts exactly.
+    This is what lets a *minimum over hashes* be mapped back to the
+    value that produced it without carrying values alongside — the
+    trick the super-k-mer split kernel uses to recover minimizer
+    w-mers from window-min hashes in one vector pass.
+    """
+    scalar = np.isscalar(z) or isinstance(z, (int, np.integer))
+    y = np.asarray(z, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        y = _unshift_xor_right(y, 31)
+        y = _unshift_xor_right(y * _INV_C3, 27)
+        y = _unshift_xor_right(y * _INV_C2, 30)
+        y = y - _C1
+    return int(y) if scalar else y
 
 
 def owner_pe(kmers: np.ndarray, p: int) -> np.ndarray:

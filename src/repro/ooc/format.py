@@ -82,31 +82,22 @@ def pack_superkmers(superkmers: list[np.ndarray]) -> tuple[np.ndarray, np.ndarra
 
     Each super-k-mer is packed 4 bases/byte (first base in the high
     bits), padded to a whole byte, so records stay byte-aligned and
-    the unpack side can address them independently.  Fully vectorised:
-    one scatter of all codes into a padded staging buffer, then four
-    strided shifts.
+    the unpack side can address them independently.  Thin wrapper over
+    :func:`repro.seq.superkmers.pack_spans` — the one packing kernel
+    shared with the vectorised counting fast path.
     """
-    lengths = np.array([sk.size for sk in superkmers], dtype=np.uint32)
+    from ..seq.superkmers import pack_spans
+
+    lengths = np.array([sk.size for sk in superkmers], dtype=np.int64)
     if lengths.size == 0:
-        return lengths, np.empty(0, dtype=np.uint8)
+        return lengths.astype(np.uint32), np.empty(0, dtype=np.uint8)
     if (lengths == 0).any():
         raise ValueError("cannot pack an empty super-k-mer")
-    padded = -(-lengths.astype(np.int64) // 4) * 4
-    offsets = np.concatenate(([0], np.cumsum(padded)))
-    staging = np.zeros(int(offsets[-1]), dtype=np.uint8)
-    flat = np.concatenate(superkmers).astype(np.uint8, copy=False)
-    if flat.size and flat.max() > 3:
-        raise ValueError("super-k-mer codes must be 2-bit (no ambiguity)")
-    # Position of each base inside the padded staging buffer.
-    within = np.arange(flat.size, dtype=np.int64) - np.repeat(
-        np.concatenate(([0], np.cumsum(lengths.astype(np.int64))))[:-1], lengths
-    )
-    staging[np.repeat(offsets[:-1], lengths) + within] = flat
-    blob = (
-        (staging[0::4] << 6) | (staging[1::4] << 4)
-        | (staging[2::4] << 2) | staging[3::4]
-    ).astype(np.uint8)
-    return lengths, blob
+    flat = (np.concatenate(superkmers).astype(np.uint8, copy=False)
+            if superkmers else np.empty(0, dtype=np.uint8))
+    starts = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    return pack_spans(flat, starts, lengths)
 
 
 def unpack_superkmers(lengths: np.ndarray, blob: np.ndarray) -> list[np.ndarray]:

@@ -26,9 +26,12 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..core.owner import owner_pe
-from ..seq.minimizers import split_superkmers
-from .format import BinHeader, append_chunk, pack_superkmers, write_bin_header
+from ..seq.superkmers import (
+    pack_spans,
+    partition_superkmers,
+    split_superkmers_batch,
+)
+from .format import BinHeader, append_chunk, write_bin_header
 
 __all__ = ["OocStats", "BinWriter", "largest_first", "seeded_order"]
 
@@ -105,7 +108,8 @@ class BinWriter:
         self.ceiling_bytes = ceiling_bytes
         self.flush_order = flush_order or largest_first
         self.stats = stats if stats is not None else OocStats()
-        self._pending: dict[int, list[np.ndarray]] = {}
+        # Per bin: list of (flat codes, per-record lengths) batches.
+        self._pending: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
         self._pending_bytes: dict[int, int] = {}
         self._buffered = 0
         self._headers_written: set[int] = set()
@@ -119,36 +123,58 @@ class BinWriter:
         Returns the number of k-mers the read contributed.  May trigger
         a flush wave if the memory ceiling is crossed.
         """
+        return self.add_reads([np.asarray(codes, dtype=np.uint8)])
+
+    def add_reads(self, reads: np.ndarray | list) -> int:
+        """Buffer a batch of reads (rows of a matrix or a list of arrays).
+
+        Reads are split by the vectorised batch kernel
+        (:func:`repro.seq.superkmers.split_superkmers_batch`) in
+        sub-batches small enough that the memory ceiling keeps its
+        per-read granularity: each sub-batch is bounded by half the
+        ceiling in bases, so flush waves fire at the same points a
+        one-read-at-a-time writer would hit.
+        """
         if self._closed:
             raise ValueError("BinWriter is closed")
-        codes = np.asarray(codes, dtype=np.uint8)
-        sks = split_superkmers(codes, self.k, self.w)
-        self.stats.n_reads += 1
-        if not sks:
-            return 0
-        mins = np.array([sk.minimizer for sk in sks], dtype=np.uint64)
-        bins = owner_pe(mins, self.n_bins)
+        rows = (list(reads) if isinstance(reads, np.ndarray)
+                else [np.asarray(r, dtype=np.uint8) for r in reads])
+        budget = max(1, self.ceiling_bytes // 2)
         n_kmers = 0
-        for sk, b in zip(sks, bins):
+        start = 0
+        while start < len(rows):
+            end, bases = start, 0
+            while end < len(rows) and (
+                    end == start or bases + rows[end].size <= budget):
+                bases += rows[end].size
+                end += 1
+            n_kmers += self._add_batch(rows[start:end])
+            start = end
+        return n_kmers
+
+    def _add_batch(self, rows: list[np.ndarray]) -> int:
+        """Split, route, and buffer one bounded sub-batch of reads."""
+        batch = split_superkmers_batch(rows, self.k, self.w)
+        self.stats.n_reads += len(rows)
+        if batch.n_superkmers == 0:
+            return 0
+        owners, order, boundaries = partition_superkmers(batch, self.n_bins)
+        for b in np.unique(owners):
             b = int(b)
-            sub = codes[sk.start:sk.start + sk.n_bases].copy()
-            self._pending.setdefault(b, []).append(sub)
-            nbytes = sub.size + _RECORD_OVERHEAD
+            idx = order[boundaries[b]:boundaries[b + 1]]
+            flat, lengths = batch.gather_spans(idx)
+            self._pending.setdefault(b, []).append((flat, lengths))
+            nbytes = int(flat.size) + _RECORD_OVERHEAD * int(lengths.size)
             self._pending_bytes[b] = self._pending_bytes.get(b, 0) + nbytes
             self._buffered += nbytes
-            n_kmers += sk.n_kmers(self.k)
-        self.stats.n_superkmers += len(sks)
+        self.stats.n_superkmers += batch.n_superkmers
+        n_kmers = batch.n_kmers
         self.stats.n_kmers += n_kmers
         if self._buffered > self.stats.peak_buffered_bytes:
             self.stats.peak_buffered_bytes = self._buffered
         if self._buffered > self.ceiling_bytes:
             self._flush_wave()
         return n_kmers
-
-    def add_reads(self, reads: np.ndarray | list) -> int:
-        """Buffer a batch of reads (rows of a matrix or a list of arrays)."""
-        rows = list(reads) if isinstance(reads, np.ndarray) else reads
-        return sum(self.add_read(row) for row in rows)
 
     # -- flushing ------------------------------------------------------
 
@@ -157,10 +183,16 @@ class BinWriter:
 
     def _flush_bin(self, bin_id: int) -> int:
         """Write one bin's pending super-k-mers as a chunk; returns bytes."""
-        sks = self._pending.pop(bin_id, [])
-        if not sks:
+        entries = self._pending.pop(bin_id, [])
+        if not entries:
             return 0
-        lengths, blob = pack_superkmers(sks)
+        flat = (entries[0][0] if len(entries) == 1
+                else np.concatenate([e[0] for e in entries]))
+        lens = (entries[0][1] if len(entries) == 1
+                else np.concatenate([e[1] for e in entries]))
+        starts = np.zeros(lens.size, dtype=np.int64)
+        np.cumsum(lens[:-1], out=starts[1:])
+        lengths, blob = pack_spans(flat, starts, lens)
         path = self.bin_path(bin_id)
         written = 0
         if bin_id not in self._headers_written:

@@ -27,7 +27,13 @@ from dataclasses import dataclass
 from .machine import MachineConfig
 from .stats import PEStats
 
-__all__ = ["CostModel", "OPS_PER_KMER_PARSE", "OPS_PER_ELEMENT_BUFFER", "OPS_PER_PACKET"]
+__all__ = [
+    "CostModel",
+    "OPS_PER_KMER_PARSE",
+    "OPS_PER_ELEMENT_BUFFER",
+    "OPS_PER_PACKET",
+    "OPS_PER_SUPERKMER",
+]
 
 #: INT64 ops to generate one k-mer (shift, or, mask, store — Eq. 9
 #: charges 1 op per k-mer; we keep the paper's convention).
@@ -36,6 +42,14 @@ OPS_PER_KMER_PARSE: int = 1
 #: Ops to append one element to an aggregation buffer (bounds check,
 #: store, counter bump).
 OPS_PER_ELEMENT_BUFFER: int = 2
+
+#: Ops to package one super-k-mer run for the wire: detect the run
+#: boundary, 2-bit pack its bases, write the (minimizer, length)
+#: header, append to the destination buffer.  Charged per *run*, not
+#: per k-mer — the amortisation that makes minimizer routing cheap
+#: (KMC2/MSPKmerCounter): a run of ``r`` k-mers ships
+#: ``ceil((r + k - 1) / 4)`` bytes + one header instead of ``8 r``.
+OPS_PER_SUPERKMER: int = 4
 
 #: Ops of fixed per-packet handling: buffer management, header
 #: write/parse, dispatch — roughly 30 ns of the Conveyors software

@@ -24,7 +24,7 @@ from .datasets import (
     synthetic_spec,
     table5_rows,
 )
-from .encoding import decode_codes, encode_seq
+from .encoding import decode_codes, encode_batch, encode_seq
 from .fastx import SeqRecord, read_fasta, read_fastq, read_fastx, write_fasta, write_fastq
 from .genomes import RepeatSpec, repeat_genome, uniform_genome
 from .kmers import (
@@ -75,6 +75,17 @@ from .quality import (
 )
 from .readsim import ReadSimConfig, reads_to_records, simulate_reads
 from .sharding import Shard, compute_shards, read_shard, shard_fastq
+from .superkmers import (
+    DEFAULT_MINIMIZER_LEN,
+    SuperKmerBatch,
+    count_superkmer_batch,
+    flatten_reads,
+    pack_spans,
+    partition_superkmers,
+    split_superkmers_batch,
+    split_superkmers_flat,
+    superkmer_wire_bytes,
+)
 
 __all__ = [
     "BASES",
@@ -90,6 +101,7 @@ __all__ = [
     "synthetic_spec",
     "table5_rows",
     "encode_seq",
+    "encode_batch",
     "decode_codes",
     "SeqRecord",
     "read_fasta",
@@ -131,6 +143,15 @@ __all__ = [
     "SuperKmer",
     "split_superkmers",
     "superkmer_compression_ratio",
+    "DEFAULT_MINIMIZER_LEN",
+    "SuperKmerBatch",
+    "split_superkmers_flat",
+    "split_superkmers_batch",
+    "flatten_reads",
+    "pack_spans",
+    "partition_superkmers",
+    "count_superkmer_batch",
+    "superkmer_wire_bytes",
     "Shard",
     "compute_shards",
     "read_shard",

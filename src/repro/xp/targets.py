@@ -250,6 +250,166 @@ def _ooc_bench(params: dict) -> TargetOutcome:
 
 
 # ---------------------------------------------------------------------------
+# count: the vectorised super-k-mer fast path vs the scalar streaming
+# counter — the headline records/s trajectory of the repo
+# ---------------------------------------------------------------------------
+
+_COUNT_DEFAULTS = {
+    "dataset": "synthetic-24", "k": 21, "w": 7, "budget": 120_000,
+    "batch_records": 100_000, "canonical": 0,
+}
+
+
+@functools.lru_cache(maxsize=8)
+def _count_records(dataset: str, k: int, budget: int):
+    """Workload decoded to SeqRecords (untimed setup), cached."""
+    from ..seq.encoding import decode_codes
+    from ..seq.fastx import SeqRecord
+
+    w, oracle = _counted(dataset, k, budget)
+    records = [SeqRecord(name=f"r{i}", seq=decode_codes(w.reads[i]))
+               for i in range(w.reads.shape[0])]
+    return records, oracle
+
+
+def _count_bench(params: dict) -> TargetOutcome:
+    from ..apps.streaming import count_records_streaming
+    from ..core.serial import serial_count
+    from ..seq.superkmers import split_superkmers_batch
+
+    p = _params(params, _COUNT_DEFAULTS)
+    k, canonical = p["k"], bool(p["canonical"])
+    records, oracle = _count_records(p["dataset"], k, p["budget"])
+    if canonical:
+        from ..bench.workloads import build_workload
+        oracle = serial_count(
+            build_workload(p["dataset"], k, budget_kmers=p["budget"]).reads,
+            k, canonical=True)
+
+    t0 = time.perf_counter()
+    scalar = count_records_streaming(
+        records, k, batch_records=p["batch_records"],
+        canonical=canonical, fast=False)
+    t_scalar = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast = count_records_streaming(
+        records, k, batch_records=p["batch_records"],
+        canonical=canonical, fast=True, w=p["w"])
+    t_fast = time.perf_counter() - t0
+
+    batch = split_superkmers_batch(
+        [r for r in _counted(p["dataset"], k, p["budget"])[0].reads],
+        k, min(k, p["w"]))
+    wire = batch.wire_bytes()
+    compression = (8.0 * batch.n_kmers / wire) if wire else 0.0
+
+    n = len(records)
+    return TargetOutcome(
+        metrics={
+            "fast_records_per_s": n / t_fast,
+            "scalar_records_per_s": n / t_scalar,
+            "speedup": t_scalar / t_fast,
+            "superkmer_compression": compression,
+        },
+        checks={
+            "fast_equals_scalar": fast == scalar,
+            "fast_equals_serial_oracle": fast == oracle,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# chaos: fault-injected distributed counting stays exact (declarative
+# port of the hand-rolled chaos sweep)
+# ---------------------------------------------------------------------------
+
+_CHAOS_DEFAULTS = {
+    "dataset": "synthetic-20", "k": 15, "budget": 30_000,
+    "nodes": 8, "n_plans": 3, "protocol": "2D",
+    "drop_prob": 0.02, "duplicate_prob": 0.02, "corrupt_prob": 0.01,
+    "crash_pe": 3,
+}
+
+
+def _chaos_sweep(params: dict) -> TargetOutcome:
+    from ..core.dakc import DakcConfig
+    from ..fault import FaultPlan
+    from ..fault.chaos import derive_plan_seeds, run_chaos
+    from ..runtime.cost import CostModel
+    from ..runtime.machine import phoenix_intel
+
+    p = _params(params, _CHAOS_DEFAULTS)
+    w, _ = _counted(p["dataset"], p["k"], p["budget"])
+    cost = lambda: CostModel(phoenix_intel(p["nodes"]), cores_per_pe=24)  # noqa: E731
+    config = DakcConfig(protocol=p["protocol"])
+
+    benign = run_chaos(w.reads, p["k"], cost(), FaultPlan(seed=p.get("seed", 0)),
+                       config=config, protect=False)
+    protected_clean = run_chaos(w.reads, p["k"], cost(),
+                                FaultPlan(seed=p.get("seed", 0)),
+                                config=config, protect=True)
+    plans = [
+        FaultPlan(seed=s, drop_prob=p["drop_prob"],
+                  duplicate_prob=p["duplicate_prob"],
+                  corrupt_prob=p["corrupt_prob"],
+                  crash_pes=(p["crash_pe"],))
+        for s in derive_plan_seeds(p.get("seed", 0), p["n_plans"])
+    ]
+    hostile = [run_chaos(w.reads, p["k"], cost(), plan,
+                         config=config, protect=True)
+               for plan in plans]
+
+    overhead = (protected_clean.sim_time / benign.sim_time
+                if benign.sim_time else float("inf"))
+    return TargetOutcome(
+        metrics={
+            "fault_free_overhead": overhead,
+            "retransmits": float(sum(o.retransmits for o in hostile)),
+            "mean_recovery_time": (
+                sum(o.recovery_time for o in hostile) / len(hostile)
+                if hostile else 0.0),
+        },
+        checks={
+            "benign_exact": benign.ok,
+            "protected_clean_exact": protected_clean.ok,
+            "hostile_all_exact": all(o.ok for o in hostile),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# dst: deterministic-simulation fuzz campaign (declarative port of the
+# hand-rolled dst sweep)
+# ---------------------------------------------------------------------------
+
+_DST_DEFAULTS = {"budget": 60, "n_seeds": 2}
+
+
+def _dst_sweep(params: dict) -> TargetOutcome:
+    from ..core.seeds import spawn_seeds
+    from ..dst.runner import dst_sweep
+
+    p = _params(params, _DST_DEFAULTS)
+    seeds = spawn_seeds(p.get("seed", 0), p["n_seeds"])
+    t0 = time.perf_counter()
+    reports = dst_sweep(seeds, budget=p["budget"], shrink=False)
+    elapsed = time.perf_counter() - t0
+    schedules = sum(r.schedules_run for r in reports)
+    return TargetOutcome(
+        metrics={
+            "schedules_per_s": schedules / elapsed if elapsed else 0.0,
+            "schedules_run": float(schedules),
+            "violations": float(sum(len(r.violations) for r in reports)),
+        },
+        checks={
+            "no_violations": all(not r.violations for r in reports),
+            "deterministic": all(r.determinism_ok for r in reports),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
 # paper: any experiment of the fig/table registry, timed end to end
 # ---------------------------------------------------------------------------
 
@@ -319,6 +479,29 @@ TARGETS: dict[str, XpTarget] = {
              "slowdown_vs_memory": "lower", "bytes_spilled": "lower",
              "overcommit": "higher"},
             "two-pass out-of-core count under a hard memory ceiling",
+        ),
+        XpTarget(
+            "count-bench", _count_bench,
+            {"fast_records_per_s": "higher",
+             "scalar_records_per_s": "higher",
+             "speedup": "higher",
+             "superkmer_compression": "higher"},
+            "vectorised super-k-mer fast path vs the scalar streaming "
+            "counter, bit-identical counts",
+        ),
+        XpTarget(
+            "chaos-sweep", _chaos_sweep,
+            {"fault_free_overhead": "lower", "retransmits": "lower",
+             "mean_recovery_time": "lower"},
+            "fault-injected distributed counting stays exact under "
+            "drop/dup/corrupt/crash plans",
+        ),
+        XpTarget(
+            "dst-sweep", _dst_sweep,
+            {"schedules_per_s": "higher", "schedules_run": "higher",
+             "violations": "lower"},
+            "deterministic-simulation fuzz campaign over the invariant "
+            "registry",
         ),
         XpTarget(
             "paper-experiment", _paper_experiment,

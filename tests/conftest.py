@@ -82,6 +82,46 @@ def small_workload():
     return materialize("synthetic-20", fidelity=2**-8, seed=3)
 
 
+@pytest.fixture(scope="session")
+def fastx_corpus(tmp_path_factory):
+    """Seeded FASTA+FASTQ corpus exercising the counting edge cases.
+
+    One FASTA lane with ~2% ambiguous ``N`` bases, mixed read lengths
+    (including reads shorter than typical k), a homopolymer run and an
+    AT microsatellite; one clean FASTQ lane for oracles that reject
+    ambiguity.  Returns a dict with ``paths`` (both lanes, on disk),
+    ``records`` (every SeqRecord in lane order) and ``clean_records``
+    (the N-free FASTQ subset).
+    """
+    from repro.seq.fastx import SeqRecord, write_fasta, write_fastq
+
+    rng = np.random.default_rng(20260809)
+    bases = np.array(list("ACGT"))
+
+    def draw(n: int, ambiguous: bool) -> str:
+        s = bases[rng.integers(0, 4, size=n)].copy()
+        if ambiguous:
+            s[rng.random(n) < 0.02] = "N"
+        return "".join(s)
+
+    dirty = [draw(int(rng.integers(3, 130)), True) for _ in range(60)]
+    dirty += ["A" * 80, "AT" * 40, "NNNN", "G"]
+    clean = [draw(int(rng.integers(3, 130)), False) for _ in range(60)]
+    clean += ["C" * 70, "ACG"]
+
+    records = [SeqRecord(name=f"d{i}", seq=s) for i, s in enumerate(dirty)]
+    clean_records = [SeqRecord(name=f"c{i}", seq=s) for i, s in enumerate(clean)]
+    root = tmp_path_factory.mktemp("fastx_corpus")
+    fasta, fastq = root / "lane1.fasta", root / "lane2.fastq"
+    write_fasta(fasta, records, line_width=60)
+    write_fastq(fastq, clean_records)
+    return {
+        "paths": [fasta, fastq],
+        "records": records + clean_records,
+        "clean_records": clean_records,
+    }
+
+
 @pytest.fixture
 def laptop_cost() -> CostModel:
     """Fresh 2-node, 4-core-per-node machine (8 PEs)."""

@@ -1,0 +1,43 @@
+"""Round-trip and registry checks for the specs shipped in benchmarks/xp/.
+
+Every spec the CI smoke jobs run must load, reference a registered
+target whose sweep axes exist, and survive a save/load round trip —
+catching drift between the JSON files and the target registry before a
+scheduled run does.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.xp.spec import load_spec, save_spec
+from repro.xp.targets import get_target
+
+SPEC_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "xp"
+SPEC_PATHS = sorted(SPEC_DIR.glob("*.json"))
+
+
+def test_spec_dir_has_the_expected_campaigns():
+    names = {p.stem for p in SPEC_PATHS}
+    assert {"count", "chaos", "dst", "smoke"} <= names
+
+
+@pytest.mark.parametrize("path", SPEC_PATHS, ids=lambda p: p.stem)
+def test_spec_loads_and_targets_resolve(path):
+    spec = load_spec(path)
+    target = get_target(spec.target)
+    assert spec.gate_metrics, f"{path.stem}: gate_metrics must be non-empty"
+    for metric in spec.gate_metrics:
+        assert metric in target.directions, (
+            f"{path.stem}: gate metric {metric!r} has no direction on "
+            f"target {target.name!r}")
+
+
+@pytest.mark.parametrize("path", SPEC_PATHS, ids=lambda p: p.stem)
+def test_spec_round_trips(path, tmp_path):
+    spec = load_spec(path)
+    copy = tmp_path / path.name
+    save_spec(spec, copy)
+    assert load_spec(copy) == spec
